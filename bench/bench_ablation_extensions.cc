@@ -1,0 +1,95 @@
+// Ablation: the paper's post-deployment augmentation paths (§6.4 cites
+// active learning [56] and self-training [53]; §7.3 proposes domain
+// adaptation). Starting from the day-one weakly supervised cross-modal
+// model for CT 1, each extension is applied and the test AUPRC compared.
+
+#include "bench_common.h"
+#include "extensions/active_learning.h"
+#include "extensions/domain_adaptation.h"
+#include "extensions/self_training.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+int main() {
+  PrintHeader("Ablation: post-deployment extensions (CT 1)",
+              "§6.4 (active learning / self-training) and §7.3 (domain "
+              "adaptation)");
+  const TaskContext ctx = SetupTask(1);
+  PipelineConfig config = DefaultConfig(ctx);
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+  const FeatureStore& store = pipeline.store();
+  const FusionInput base =
+      BuildFusionInput(ctx, store, pipeline.selection(),
+                       curation->weak_labels);
+
+  std::vector<EntityId> candidates;
+  std::unordered_map<EntityId, int> truth;
+  for (const Entity& e : ctx.corpus.image_unlabeled) {
+    candidates.push_back(e.id);
+    truth[e.id] = e.label == 1 ? 1 : 0;
+  }
+  const LabelOracle oracle = [&truth](EntityId id) { return truth.at(id); };
+
+  auto eval = [&](const CrossModalModel& model) {
+    return EvaluateModel(model, ctx.corpus.image_test, store).auprc;
+  };
+
+  TablePrinter table({"Variant", "AUPRC", "Reviewer labels",
+                      "Positives surfaced"});
+
+  auto base_model = TrainEarlyFusion(base, config.model);
+  CM_CHECK(base_model.ok()) << base_model.status();
+  table.AddRow({"pipeline (day one, no reviewers)",
+                TablePrinter::Num(eval(**base_model), 3), "0", "-"});
+
+  for (AcquisitionStrategy strategy :
+       {AcquisitionStrategy::kUncertainty, AcquisitionStrategy::kPositiveHunt,
+        AcquisitionStrategy::kRandom}) {
+    ActiveLearningOptions options;
+    options.strategy = strategy;
+    options.budget_per_round = 100;
+    options.rounds = 2;
+    auto result =
+        RunActiveLearning(base, candidates, oracle, config.model, options);
+    CM_CHECK(result.ok()) << result.status();
+    table.AddRow({std::string("+ active learning (") +
+                      AcquisitionStrategyName(strategy) + ")",
+                  TablePrinter::Num(eval(*result->model), 3),
+                  std::to_string(result->reviewed.size()),
+                  std::to_string(result->positives_found)});
+  }
+
+  {
+    SelfTrainingOptions options;
+    options.rounds = 2;
+    auto result = RunSelfTraining(base, candidates, config.model, options);
+    CM_CHECK(result.ok()) << result.status();
+    table.AddRow({"+ self-training (no reviewers)",
+                  TablePrinter::Num(eval(*result->model), 3), "0",
+                  std::to_string(result->pseudo_positives) + " pseudo"});
+  }
+
+  {
+    FusionInput reweighted = base;
+    auto report = ReweightOldModality(&reweighted,
+                                      DomainAdaptationOptions{});
+    CM_CHECK(report.ok()) << report.status();
+    auto model = TrainEarlyFusion(reweighted, config.model);
+    CM_CHECK(model.ok()) << model.status();
+    table.AddRow({"+ domain-adapted text weights (AUC " +
+                      TablePrinter::Num(report->domain_auc, 2) + ")",
+                  TablePrinter::Num(eval(**model), 3), "0", "-"});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected trends: a couple hundred actively selected reviewer\n"
+      "labels improve on the day-one model and beat random review;\n"
+      "positive-hunting surfaces far more positives per review than\n"
+      "random under class imbalance; self-training and domain adaptation\n"
+      "give smaller, reviewer-free nudges.\n");
+  return 0;
+}

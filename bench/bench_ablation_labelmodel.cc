@@ -1,0 +1,85 @@
+// Ablation (DESIGN.md §3): the label combiner behind §4.1 — the Snorkel
+// generative model vs majority vote vs the single best LF, measured on
+// generative-model quality and end-model AUPRC (CT 1).
+
+#include "bench_common.h"
+#include "labeling/lf_quality.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+int main() {
+  PrintHeader("Ablation: label-model choice (CT 1)",
+              "design choice behind §4.1 (Snorkel generative model)");
+  const TaskContext ctx = SetupTask(1);
+  PipelineConfig config = DefaultConfig(ctx);
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+  const FeatureStore& store = pipeline.store();
+
+  std::vector<EntityId> unlabeled_ids;
+  for (const Entity& e : ctx.corpus.image_unlabeled) {
+    unlabeled_ids.push_back(e.id);
+  }
+  const LabelMatrix matrix =
+      ApplyLabelingFunctions(curation->lfs, unlabeled_ids, store);
+
+  // --- Arm 1: generative model (the pipeline's own weak labels). --------
+  const auto& generative = curation->weak_labels;
+
+  // --- Arm 2: majority vote. ---------------------------------------------
+  const auto majority = MajorityVote(matrix, ctx.task.pos_rate);
+
+  // --- Arm 3: single best LF (by dev F1 -> here: highest-coverage mined
+  // positive LF applied alone). ---------------------------------------------
+  const std::vector<int> truth = UnlabeledTruth(ctx, generative);
+  size_t best_lf = 0;
+  {
+    const auto quality = EvaluateLFs(matrix, truth);
+    double best_f1 = -1.0;
+    for (size_t j = 0; j < quality.size(); ++j) {
+      if (quality[j].polarity == 1 && quality[j].f1 > best_f1) {
+        best_f1 = quality[j].f1;
+        best_lf = j;
+      }
+    }
+  }
+  std::vector<ProbabilisticLabel> single(matrix.num_rows());
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    single[i].entity = matrix.entity(i);
+    const Vote v = matrix.at(i, best_lf);
+    single[i].covered = v != Vote::kAbstain;
+    single[i].p_positive = v == Vote::kPositive ? 0.95
+                           : v == Vote::kNegative ? 0.05
+                                                  : ctx.task.pos_rate;
+  }
+
+  TablePrinter table(
+      {"Combiner", "Precision", "Recall", "F1", "End AUPRC"});
+  const double ws_threshold = WsDecisionThreshold(ctx, config);
+  auto add_arm = [&](const char* name,
+                     const std::vector<ProbabilisticLabel>& labels) {
+    const BinaryQuality q = EvaluateProbabilisticLabels(labels, truth,
+                                                        ws_threshold);
+    auto model = TrainImageOnlyWeak(labels, store,
+                                    pipeline.selection().image_model_features,
+                                    config.model);
+    CM_CHECK(model.ok()) << model.status();
+    const double auprc =
+        EvaluateModel(**model, ctx.corpus.image_test, store).auprc;
+    table.AddRow({name, TablePrinter::Num(q.precision, 3),
+                  TablePrinter::Num(q.recall, 3), TablePrinter::Num(q.f1, 3),
+                  TablePrinter::Num(auprc, 3)});
+  };
+  add_arm("generative model (EM)", generative);
+  add_arm("majority vote", majority);
+  add_arm(("single best LF (" + matrix.lf_name(best_lf) + ")").c_str(),
+          single);
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected trend: the generative model matches or beats majority\n"
+      "vote (it learns per-LF accuracies) and clearly beats any single LF\n"
+      "on recall/F1 — the reason Snorkel's combiner is the default.\n");
+  return 0;
+}

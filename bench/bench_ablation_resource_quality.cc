@@ -1,0 +1,117 @@
+// Ablation: resource quality and validation (§6.5/§7.1): "a low quality
+// feature/organizational resource might negatively impact performance if it
+// were selected via automated processes without validation".
+//
+// Three arms on CT 1:
+//   1. the curated registry (the default);
+//   2. the registry + three corrupted upstream services adopted blindly;
+//   3. the same registry after review: the automatic audit flags gross
+//      inconsistencies, and the §7.2 human-in-the-loop review of the mined
+//      LF list catches the rest (simulated by excluding the feeds a
+//      reviewer would immediately recognize in the top LFs).
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "resources/validation.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+double RunArm(const TaskContext& ctx, const ResourceRegistry& registry,
+              const std::vector<FeatureId>& excluded_features,
+              const PipelineConfig& base_config, const Corpus& corpus) {
+  PipelineConfig config = base_config;
+  // Vetoed resources are excised everywhere: end-model channels, LF
+  // mining, and the propagation graph.
+  config.features.excluded_features = excluded_features;
+  CrossModalPipeline pipeline(&registry, &corpus, config);
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+  return EvaluateModel(*result->model, ctx.corpus.image_test,
+                       pipeline.store())
+      .auprc;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: resource quality + validation (CT 1)",
+              "§6.5/§7.1 (unvalidated low-quality resources)");
+  const TaskContext ctx = SetupTask(1);
+  const PipelineConfig config = DefaultConfig(ctx);
+
+  // Arm 1: curated registry.
+  const double clean = RunArm(ctx, *ctx.registry, {}, config, ctx.corpus);
+
+  // Arms 2-3: registry with *spurious* upstream feeds injected: they
+  // leak the label on the text channel and are uniform noise on image —
+  // the §6.5 failure mode that actively poisons cross-modal transfer.
+  auto polluted = BuildModerationRegistry(*ctx.generator, ctx.task.seed);
+  CM_CHECK(polluted.ok());
+  std::vector<FeatureId> corrupted_ids;
+  for (int k = 0; k < 3; ++k) {
+    const std::string name = "corrupted_feed_" + std::to_string(k);
+    CM_CHECK_OK(polluted->Register(std::make_unique<CorruptedService>(
+        name, 24, 1000 + static_cast<uint64_t>(k),
+        CorruptionMode::kSpuriousTextOnly)));
+    auto id = polluted->schema().Find(name);
+    CM_CHECK(id.ok());
+    corrupted_ids.push_back(*id);
+  }
+  const double blind =
+      RunArm(ctx, *polluted, {}, config, ctx.corpus);
+
+  // Arm 3: audit, exclude suspects + zero-signal feeds from LF mining.
+  CrossModalPipeline audit_pipeline(&polluted.value(), &ctx.corpus, config);
+  CM_CHECK_OK(audit_pipeline.GenerateFeatureSpace());
+  std::vector<EntityId> old_ids, new_ids;
+  std::vector<int> old_labels;
+  for (size_t i = 0; i < 4000 && i < ctx.corpus.text_labeled.size(); ++i) {
+    old_ids.push_back(ctx.corpus.text_labeled[i].id);
+    old_labels.push_back(ctx.corpus.text_labeled[i].label == 1 ? 1 : 0);
+  }
+  for (const Entity& e : ctx.corpus.image_unlabeled) new_ids.push_back(e.id);
+  auto reports = ValidateResources(*polluted, audit_pipeline.store(),
+                                   old_ids, old_labels, new_ids);
+  CM_CHECK(reports.ok()) << reports.status();
+  std::vector<FeatureId> excluded;
+  size_t auto_caught = 0;
+  for (const auto& r : *reports) {
+    if (!r.suspect) continue;
+    excluded.push_back(r.feature);
+    for (FeatureId bad : corrupted_ids) auto_caught += (bad == r.feature);
+  }
+  // §7.2 expert review: a reviewer scanning the mined LF list immediately
+  // recognizes the unknown "corrupted_feed_*" items and vetoes them. A
+  // text-only label leak with matched marginals is NOT automatically
+  // detectable without new-modality labels — the paper's argument for
+  // keeping a human in the loop.
+  for (FeatureId bad : corrupted_ids) {
+    if (std::find(excluded.begin(), excluded.end(), bad) == excluded.end()) {
+      excluded.push_back(bad);
+    }
+  }
+  const double audited =
+      RunArm(ctx, *polluted, excluded, config, ctx.corpus);
+
+  TablePrinter table({"Arm", "AUPRC", "vs curated"});
+  table.AddRow({"curated registry", TablePrinter::Num(clean, 3), "1.00x"});
+  table.AddRow({"+3 spurious feeds, adopted blindly",
+                TablePrinter::Num(blind, 3),
+                TablePrinter::Factor(blind / clean)});
+  table.AddRow({"+3 spurious feeds, audited + expert-reviewed out (auto "
+                "caught " + std::to_string(auto_caught) + "/3)",
+                TablePrinter::Num(audited, 3),
+                TablePrinter::Factor(audited / clean)});
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected trends: spurious feeds (label-leaking on text, noise on\n"
+      "image) poison mined LFs when adopted blindly and depress end AUPRC;\n"
+      "excluding them after review restores the gap. This is the paper's\n"
+      "argument (\u00a76.5/\u00a77.2) for validating resources and keeping a human\n"
+      "in the LF loop.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Shared setup for the experiment-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper (see
+// DESIGN.md §3 for the index). Benches accept an optional scale factor via
+// the CM_BENCH_SCALE environment variable (default 1.0 = the DESIGN.md
+// scaled-corpus sizes) so CI can run them faster.
+
+#ifndef CROSSMODAL_BENCH_BENCH_COMMON_H_
+#define CROSSMODAL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "synth/corpus_generator.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace crossmodal {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("CM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// Everything needed to run one task's experiments.
+struct TaskContext {
+  TaskSpec task;
+  WorldConfig world;
+  std::unique_ptr<CorpusGenerator> generator;
+  Corpus corpus;
+  std::unique_ptr<ResourceRegistry> registry;
+};
+
+inline TaskContext SetupTask(int ct, double scale = BenchScale()) {
+  TaskContext ctx;
+  ctx.task = TaskSpec::CT(ct).Scaled(scale);
+  ctx.generator = std::make_unique<CorpusGenerator>(ctx.world, ctx.task);
+  ctx.corpus = ctx.generator->Generate();
+  auto registry = BuildModerationRegistry(*ctx.generator, ctx.task.seed);
+  CM_CHECK(registry.ok()) << registry.status();
+  ctx.registry =
+      std::make_unique<ResourceRegistry>(std::move(registry).value());
+  return ctx;
+}
+
+/// The paper's default configuration: all four service sets on both
+/// channels, mining + label propagation, early fusion; the end model is the
+/// team's best performer (NN for CT1-4, logistic regression for CT5, §6.3).
+inline PipelineConfig DefaultConfig(const TaskContext& ctx) {
+  PipelineConfig config;
+  config.seed = DeriveSeed(ctx.task.seed, "pipeline");
+  config.model.kind =
+      ctx.task.id == 5 ? ModelKind::kLogisticRegression : ModelKind::kMlp;
+  config.model.hidden = {32};
+  config.model.ensemble_size = 3;  // damp MLP seed variance in the benches
+  config.model.train.epochs = 10;
+  config.model.train.learning_rate = 0.03;
+  config.curation.label_model.fixed_class_balance = ctx.task.pos_rate;
+  // The propagation-LF precision target must be reachable under the task's
+  // class imbalance (a fixed 0.8 is unattainable at a 0.9% positive rate).
+  config.curation.prop_target_precision_pos =
+      std::clamp(10.0 * ctx.task.pos_rate, 0.12, 0.80);
+  config.curation.graph.k = 15;
+  return config;
+}
+
+/// AUPRC of the reference baseline every relative number in the paper is
+/// against: a fully supervised image model trained on pre-trained image
+/// embedding features only (§6.3), over the whole hand-labeled pool.
+inline double EmbeddingBaselineAuprc(const TaskContext& ctx,
+                                     const FeatureStore& store,
+                                     const ModelSpec& spec) {
+  std::vector<FeatureId> features;
+  auto emb = ctx.registry->schema().Find("proprietary_embedding");
+  CM_CHECK(emb.ok());
+  features.push_back(*emb);
+  auto quality = ctx.registry->schema().Find("image_quality");
+  if (quality.ok()) features.push_back(*quality);
+  auto model = TrainFullySupervisedImage(ctx.corpus, store, features,
+                                         /*budget=*/0, spec);
+  CM_CHECK(model.ok()) << model.status();
+  return EvaluateModel(**model, ctx.corpus.image_test, store).auprc;
+}
+
+/// Multi-modal training points exactly as the pipeline assembles them:
+/// weakly labeled image points (covered only) at weight 1 plus all labeled
+/// text points down-weighted to balance the modalities.
+inline FusionInput BuildFusionInput(
+    const TaskContext& ctx, const FeatureStore& store,
+    const FeatureSelection& sel,
+    const std::vector<ProbabilisticLabel>& weak_labels,
+    bool include_image = true) {
+  FusionInput input;
+  input.store = &store;
+  input.text_features = sel.text_model_features;
+  input.image_features = sel.image_model_features;
+  size_t n_ws = 0;
+  if (include_image) {
+    for (const auto& l : weak_labels) {
+      if (!l.covered) continue;
+      input.points.push_back(TrainPoint{l.entity, Modality::kImage,
+                                        static_cast<float>(l.p_positive),
+                                        1.0f});
+      ++n_ws;
+    }
+  }
+  const size_t n_text = ctx.corpus.text_labeled.size();
+  const float text_weight =
+      (include_image && n_text > 0 && n_ws > 0)
+          ? static_cast<float>(std::clamp(
+                static_cast<double>(n_ws) / static_cast<double>(n_text), 0.2,
+                1.0))
+          : 1.0f;
+  for (const Entity& e : ctx.corpus.text_labeled) {
+    input.points.push_back(TrainPoint{e.id, Modality::kText,
+                                      e.label == 1 ? 1.0f : 0.0f,
+                                      text_weight});
+  }
+  return input;
+}
+
+/// The tempered threshold matching the pipeline's label-model settings.
+inline double WsDecisionThreshold(const TaskContext& ctx,
+                                  const PipelineConfig& config) {
+  return TemperedDecisionThreshold(
+      config.curation.label_model.fixed_class_balance.value_or(
+          ctx.task.pos_rate),
+      config.curation.label_model.posterior_temperature);
+}
+
+/// Ground-truth labels of the unlabeled split, aligned to weak labels by
+/// entity id (used to evaluate the generative model, Table 3 / §6.7).
+inline std::vector<int> UnlabeledTruth(
+    const TaskContext& ctx, const std::vector<ProbabilisticLabel>& labels) {
+  std::unordered_map<EntityId, int> truth;
+  for (const Entity& e : ctx.corpus.image_unlabeled) {
+    truth[e.id] = e.label == 1 ? 1 : 0;
+  }
+  std::vector<int> out;
+  out.reserve(labels.size());
+  for (const auto& l : labels) out.push_back(truth.at(l.entity));
+  return out;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(paper reference: %s; corpus scale %.2f of DESIGN.md sizes)\n\n",
+              paper.c_str(), BenchScale());
+}
+
+}  // namespace bench
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_BENCH_BENCH_COMMON_H_

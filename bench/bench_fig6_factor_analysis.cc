@@ -1,0 +1,80 @@
+// Reproduces Figure 6: factor analysis for CT 1 — relative AUPRC as feature
+// sets A, B, C, D are added alternately to the text channel (T) and the
+// weakly supervised image channel (I) of an early-fusion model.
+
+#include "bench_common.h"
+#include "fusion/fusion.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+struct Step {
+  const char* label;
+  std::vector<ServiceSet> text_sets;
+  std::vector<ServiceSet> image_sets;  // empty = no image modality at all
+  double paper_value;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6: organizational-resources factor analysis (CT 1)",
+              "Fig. 6 (paper series: 0.22, 1.08, 1.14, 1.24, 1.41, 1.43, "
+              "1.52, 1.52)");
+  const TaskContext ctx = SetupTask(1);
+
+  // Curate once with the full LF feature set (the paper uses all features
+  // for weak supervision throughout, §6.4).
+  PipelineConfig config = DefaultConfig(ctx);
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+  const FeatureStore& store = pipeline.store();
+  const double base = EmbeddingBaselineAuprc(ctx, store, config.model);
+
+  const ServiceSet A = ServiceSet::kA, B = ServiceSet::kB,
+                   C = ServiceSet::kC, D = ServiceSet::kD;
+  const std::vector<Step> steps = {
+      {"T+A (no image)", {A}, {}, 0.22},
+      {"T+A, I+A", {A}, {A}, 1.08},
+      {"T+AB, I+A", {A, B}, {A}, 1.14},
+      {"T+AB, I+AB", {A, B}, {A, B}, 1.24},
+      {"T+ABC, I+AB", {A, B, C}, {A, B}, 1.41},
+      {"T+ABC, I+ABC", {A, B, C}, {A, B, C}, 1.43},
+      {"T+ABCD, I+ABC", {A, B, C, D}, {A, B, C}, 1.52},
+      {"T+ABCD, I+ABCD", {A, B, C, D}, {A, B, C, D}, 1.52},
+  };
+
+  TablePrinter table({"Step", "Relative AUPRC", "Paper"});
+  for (const Step& step : steps) {
+    FeatureSelectionOptions fopt = config.features;
+    fopt.text_sets = step.text_sets;
+    fopt.image_sets = step.image_sets;
+    if (step.image_sets.empty()) {
+      // No image modality at all in this step.
+      fopt.image_embedding_features = {};
+      fopt.include_image_quality = false;
+    }
+    auto sel = SelectFeatures(ctx.registry->schema(), fopt);
+    CM_CHECK(sel.ok()) << sel.status();
+
+    const FusionInput input = BuildFusionInput(
+        ctx, store, *sel, curation->weak_labels,
+        /*include_image=*/!step.image_sets.empty());
+    auto model = TrainEarlyFusion(input, config.model);
+    CM_CHECK(model.ok()) << model.status();
+    const double rel =
+        EvaluateModel(**model, ctx.corpus.image_test, store).auprc / base;
+    table.AddRow({step.label, TablePrinter::Num(rel, 2),
+                  TablePrinter::Num(step.paper_value, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape checks: (1) adding image data to a text-only model is the\n"
+      "largest single jump; (2) each added feature set is monotone\n"
+      "non-decreasing (to noise); (3) late image-feature additions add\n"
+      "little (paper: D added nothing for CT 1).\n");
+  return 0;
+}

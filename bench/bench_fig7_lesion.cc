@@ -1,0 +1,71 @@
+// Reproduces Figure 7: multi-modal training lesion study for CT 1 —
+// relative AUPRC of text-only (fully supervised), image-only (weakly
+// supervised) and combined (T + I) models as the service sets grow
+// A -> AB -> ABC -> ABCD.
+
+#include "bench_common.h"
+#include "fusion/fusion.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+int main() {
+  PrintHeader("Figure 7: modality lesion study (CT 1)",
+              "Fig. 7 (paper: A 0.22/0.65/1.08, AB 0.88/0.89/1.24, "
+              "ABC 0.88/1.26/1.43, ABCD 1.12/1.43/1.52)");
+  const TaskContext ctx = SetupTask(1);
+  PipelineConfig config = DefaultConfig(ctx);
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+  const FeatureStore& store = pipeline.store();
+  const double base = EmbeddingBaselineAuprc(ctx, store, config.model);
+
+  const std::vector<std::pair<const char*, std::vector<ServiceSet>>> stages = {
+      {"A", {ServiceSet::kA}},
+      {"AB", {ServiceSet::kA, ServiceSet::kB}},
+      {"ABC", {ServiceSet::kA, ServiceSet::kB, ServiceSet::kC}},
+      {"ABCD",
+       {ServiceSet::kA, ServiceSet::kB, ServiceSet::kC, ServiceSet::kD}},
+  };
+
+  TablePrinter table({"Services", "Text only", "Image only (WS)",
+                      "Text + Image"});
+  for (const auto& [label, sets] : stages) {
+    FeatureSelectionOptions fopt = config.features;
+    fopt.text_sets = sets;
+    fopt.image_sets = sets;
+    auto sel = SelectFeatures(ctx.registry->schema(), fopt);
+    CM_CHECK(sel.ok()) << sel.status();
+
+    auto text = TrainTextOnly(ctx.corpus, store, sel->text_model_features,
+                              config.model);
+    CM_CHECK(text.ok()) << text.status();
+    const double text_rel =
+        EvaluateModel(**text, ctx.corpus.image_test, store).auprc / base;
+
+    auto image = TrainImageOnlyWeak(curation->weak_labels, store,
+                                    sel->image_model_features, config.model);
+    CM_CHECK(image.ok()) << image.status();
+    const double image_rel =
+        EvaluateModel(**image, ctx.corpus.image_test, store).auprc / base;
+
+    const FusionInput input =
+        BuildFusionInput(ctx, store, *sel, curation->weak_labels);
+    auto both = TrainEarlyFusion(input, config.model);
+    CM_CHECK(both.ok()) << both.status();
+    const double both_rel =
+        EvaluateModel(**both, ctx.corpus.image_test, store).auprc / base;
+
+    table.AddRow({label, TablePrinter::Num(text_rel, 2),
+                  TablePrinter::Num(image_rel, 2),
+                  TablePrinter::Num(both_rel, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape checks: (1) combining modalities beats either alone at every\n"
+      "feature stage; (2) the weakly supervised image model overtakes the\n"
+      "text model as features grow (paper: from ABC onward); (3) all three\n"
+      "series increase with more services.\n");
+  return 0;
+}

@@ -1,0 +1,238 @@
+// Reproduces §6.7.1: automatically mined LFs vs domain-expert LFs (CT 1).
+//
+// The "domain expert" is simulated by hand-written multi-feature rules
+// authored against the task's true risky vocabulary (what a human expert
+// knows); the paper reports 7 hours of expert time spread over 2 weeks vs
+// 3.75 h for the automatic pipeline (14 min mining + label propagation in
+// parallel). We measure our mining/propagation wall time directly and
+// compare generative-model precision/recall/F1/coverage and the end-model
+// AUPRC (paper: mined wins by 2.7 F1 points, +14.3% precision, -9.6%
+// recall, +3% coverage, 1.35x AUPRC).
+
+#include "bench_common.h"
+#include "labeling/lf_quality.h"
+#include "mining/model_lf_generator.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+/// Hand-written expert LFs: conjunctions across multiple features, written
+/// the way the ground-truth collection team would (per-language keyword
+/// lists, topic + sentiment combinations, user-history heuristics).
+std::vector<LabelingFunctionPtr> ExpertLFs(const TaskContext& ctx) {
+  const FeatureSchema& schema = ctx.registry->schema();
+  auto id = [&](const char* name) {
+    auto f = schema.Find(name);
+    CM_CHECK(f.ok()) << f.status();
+    return *f;
+  };
+  const FeatureId topic = id("topic_primary");
+  const FeatureId keywords = id("keyword_topics");
+  const FeatureId flag = id("keyword_risk_flag");
+  const FeatureId sentiment = id("sentiment");
+  const FeatureId reports = id("user_report_count");
+  const FeatureId reputation = id("domain_reputation");
+  const FeatureId objects = id("object_labels");
+
+  const auto& risky_topics = ctx.generator->risky_topics();
+  const auto& risky_keywords = ctx.generator->risky_keywords();
+  const auto& risky_objects = ctx.generator->risky_objects();
+
+  std::vector<LabelingFunctionPtr> lfs;
+  // Expert rule 1: a known-risky topic with negative sentiment.
+  lfs.push_back(std::make_unique<LambdaLF>(
+      "expert_topic_negative",
+      [topic, sentiment, risky_topics](EntityId, const FeatureVector& row) {
+        const FeatureValue& t = row.Get(topic);
+        if (t.is_missing()) return Vote::kAbstain;
+        bool risky = false;
+        for (int32_t r : risky_topics) risky |= t.HasCategory(r);
+        if (risky && row.Get(sentiment).HasCategory(0)) {
+          return Vote::kPositive;
+        }
+        return Vote::kAbstain;
+      }));
+  // Expert rule 2: the team's curated keyword flag fires.
+  lfs.push_back(
+      std::make_unique<CategoryLF>("expert_flag", flag, 1, Vote::kPositive));
+  // Expert rule 3: risky keyword from a heavily reported user.
+  lfs.push_back(std::make_unique<LambdaLF>(
+      "expert_keyword_reported",
+      [keywords, reports, risky_keywords](EntityId,
+                                          const FeatureVector& row) {
+        const FeatureValue& k = row.Get(keywords);
+        const FeatureValue& r = row.Get(reports);
+        if (k.is_missing() || r.is_missing()) return Vote::kAbstain;
+        bool risky = false;
+        for (int32_t rk : risky_keywords) risky |= k.HasCategory(rk);
+        if (risky && r.numeric() > 1.6) return Vote::kPositive;
+        return Vote::kAbstain;
+      }));
+  // Expert rule 4: risky object on a badly reputed domain.
+  lfs.push_back(std::make_unique<LambdaLF>(
+      "expert_object_domain",
+      [objects, reputation, risky_objects](EntityId,
+                                           const FeatureVector& row) {
+        const FeatureValue& o = row.Get(objects);
+        if (o.is_missing()) return Vote::kAbstain;
+        bool risky = false;
+        for (int32_t r : risky_objects) risky |= o.HasCategory(r);
+        if (risky && row.Get(reputation).HasCategory(3)) {
+          return Vote::kPositive;
+        }
+        return Vote::kAbstain;
+      }));
+  // Expert rule 5: quiet users with benign sentiment are negative.
+  lfs.push_back(std::make_unique<LambdaLF>(
+      "expert_benign",
+      [reports, sentiment, flag](EntityId, const FeatureVector& row) {
+        const FeatureValue& r = row.Get(reports);
+        if (r.is_missing()) return Vote::kAbstain;
+        if (r.numeric() < 0.8 && !row.Get(flag).HasCategory(1) &&
+            !row.Get(sentiment).HasCategory(0)) {
+          return Vote::kNegative;
+        }
+        return Vote::kAbstain;
+      }));
+  return lfs;
+}
+
+struct Arm {
+  BinaryQuality quality;
+  double coverage = 0.0;
+  double auprc = 0.0;
+  double hours = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("§6.7.1: automatic vs expert LF generation (CT 1)",
+              "text of §6.7.1 (expert: 7h over 2 weeks; automatic: 3.75h; "
+              "mined LFs +2.7 F1)");
+  const TaskContext ctx = SetupTask(1);
+  PipelineConfig config = DefaultConfig(ctx);
+
+  // ---- Automatic arm: the pipeline's own curation (mining + label prop).
+  Timer auto_timer;
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  CM_CHECK_OK(pipeline.GenerateFeatureSpace());
+  auto_timer.Reset();  // exclude feature generation (shared by both arms)
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+  const double auto_seconds = auto_timer.ElapsedSeconds();
+  const FeatureStore& store = pipeline.store();
+
+  const std::vector<int> truth = UnlabeledTruth(ctx, curation->weak_labels);
+  Arm automatic;
+  const double ws_threshold = WsDecisionThreshold(ctx, config);
+  automatic.quality = EvaluateProbabilisticLabels(curation->weak_labels,
+                                                  truth, ws_threshold);
+  automatic.coverage = curation->lf_total_coverage;
+  automatic.hours = auto_seconds / 3600.0;
+  {
+    auto model =
+        TrainImageOnlyWeak(curation->weak_labels, store,
+                           pipeline.selection().image_model_features,
+                           config.model);
+    CM_CHECK(model.ok()) << model.status();
+    automatic.auprc =
+        EvaluateModel(**model, ctx.corpus.image_test, store).auprc;
+  }
+
+  // ---- Expert arm: hand-written LFs through the same generative model.
+  auto expert_lfs = ExpertLFs(ctx);
+  std::vector<EntityId> unlabeled_ids;
+  for (const Entity& e : ctx.corpus.image_unlabeled) {
+    unlabeled_ids.push_back(e.id);
+  }
+  const LabelMatrix matrix =
+      ApplyLabelingFunctions(expert_lfs, unlabeled_ids, store);
+  GenerativeModelOptions lm_options = config.curation.label_model;
+  lm_options.fixed_class_balance = ctx.task.pos_rate;
+  auto label_model = GenerativeLabelModel::Fit(matrix, lm_options);
+  CM_CHECK(label_model.ok()) << label_model.status();
+  const auto expert_labels = label_model->Predict(matrix);
+  Arm expert;
+  expert.quality = EvaluateProbabilisticLabels(expert_labels, truth,
+                                               ws_threshold);
+  expert.coverage = matrix.TotalCoverage();
+  expert.hours = 7.0;  // the paper's reported expert effort
+  {
+    auto model = TrainImageOnlyWeak(expert_labels, store,
+                                    pipeline.selection().image_model_features,
+                                    config.model);
+    CM_CHECK(model.ok()) << model.status();
+    expert.auprc =
+        EvaluateModel(**model, ctx.corpus.image_test, store).auprc;
+  }
+
+  // ---- Snuba-style arm: model-based LF generation (the alternative the
+  // paper rejected for engineering cost, §4.3). -------------------------
+  Arm snuba;
+  double snuba_seconds = 0.0;
+  {
+    Rng dev_rng(DeriveSeed(config.seed, "dev_sample"));
+    const size_t n_dev = std::min(config.curation.dev_sample,
+                                  ctx.corpus.text_labeled.size());
+    const auto dev_idx = dev_rng.SampleWithoutReplacement(
+        ctx.corpus.text_labeled.size(), n_dev);
+    std::vector<const FeatureVector*> dev_rows;
+    std::vector<int> dev_labels;
+    for (size_t i : dev_idx) {
+      auto row = store.Get(ctx.corpus.text_labeled[i].id);
+      if (!row.ok()) continue;
+      dev_rows.push_back(*row);
+      dev_labels.push_back(ctx.corpus.text_labeled[i].label == 1 ? 1 : 0);
+    }
+    ModelLfOptions snuba_options;
+    snuba_options.allowed_features = pipeline.selection().lf_features;
+    Timer snuba_timer;
+    ModelLfGenerator generator(&ctx.registry->schema(), snuba_options);
+    auto generated = generator.Generate(dev_rows, dev_labels);
+    CM_CHECK(generated.ok()) << generated.status();
+    snuba_seconds = snuba_timer.ElapsedSeconds();
+    const LabelMatrix snuba_matrix =
+        ApplyLabelingFunctions(generated->lfs, unlabeled_ids, store);
+    auto snuba_model = GenerativeLabelModel::Fit(snuba_matrix, lm_options);
+    CM_CHECK(snuba_model.ok()) << snuba_model.status();
+    const auto snuba_labels = snuba_model->Predict(snuba_matrix);
+    snuba.quality =
+        EvaluateProbabilisticLabels(snuba_labels, truth, ws_threshold);
+    snuba.coverage = snuba_matrix.TotalCoverage();
+    auto end_model = TrainImageOnlyWeak(
+        snuba_labels, store, pipeline.selection().image_model_features,
+        config.model);
+    CM_CHECK(end_model.ok()) << end_model.status();
+    snuba.auprc =
+        EvaluateModel(**end_model, ctx.corpus.image_test, store).auprc;
+  }
+
+  TablePrinter table({"Arm", "Precision", "Recall", "F1", "Coverage",
+                      "End AUPRC", "Time"});
+  auto add = [&](const char* name, const Arm& arm, const std::string& time) {
+    table.AddRow({name, TablePrinter::Num(arm.quality.precision, 3),
+                  TablePrinter::Num(arm.quality.recall, 3),
+                  TablePrinter::Num(arm.quality.f1, 3),
+                  TablePrinter::Num(arm.coverage, 3),
+                  TablePrinter::Num(arm.auprc, 3), time});
+  };
+  add("automatic (mining + label prop)", automatic,
+      TablePrinter::Num(auto_seconds, 1) + "s measured");
+  add("domain expert (simulated rules)", expert, "7h (paper-reported)");
+  add("model-based generator (Snuba-style)", snuba,
+      TablePrinter::Num(snuba_seconds, 1) + "s measured");
+  table.Print(std::cout);
+  std::printf(
+      "\nF1 delta (automatic - expert): %+.1f points (paper: +2.7)\n"
+      "AUPRC ratio: %.2fx (paper: 1.35x)\n"
+      "Itemset mining alone took %.2fs on %zu dev points (paper: 14 min on\n"
+      "tens of millions of rows on MapReduce).\n",
+      100.0 * (automatic.quality.f1 - expert.quality.f1),
+      automatic.auprc / std::max(1e-9, expert.auprc),
+      curation->mining_report.elapsed_seconds,
+      std::min(config.curation.dev_sample, ctx.corpus.text_labeled.size()));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Table 2: relative AUPRC of the fully supervised text model
+// (T + ABCD), the weakly supervised image model (I + ABCD), and the
+// cross-modal model (T, I + ABCD) on all five tasks — relative to a fully
+// supervised image model trained only on pre-trained embedding features —
+// plus the cross-over point (hand-labeled images needed for a fully
+// supervised model to beat the cross-modal pipeline).
+
+#include "bench_common.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+/// Finds the smallest supervised budget whose AUPRC beats `target`.
+/// Returns 0 if even the full pool never wins.
+size_t FindCrossOver(const TaskContext& ctx, const FeatureStore& store,
+                     const std::vector<FeatureId>& features,
+                     const ModelSpec& spec, double target) {
+  const size_t pool = ctx.corpus.image_labeled_pool.size();
+  size_t lo_budget = 0;
+  for (size_t budget = 50; budget <= pool;
+       budget = static_cast<size_t>(budget * 1.5) + 25) {
+    auto model =
+        TrainFullySupervisedImage(ctx.corpus, store, features, budget, spec);
+    if (!model.ok()) continue;
+    const double auprc =
+        EvaluateModel(**model, ctx.corpus.image_test, store).auprc;
+    if (auprc >= target) return budget;
+    lo_budget = budget;
+  }
+  (void)lo_budget;
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 2: end-to-end comparison",
+              "Table 2 (relative AUPRC + cross-over)");
+  TablePrinter table({"Task", "Base AUPRC", "Text", "Image(WS)", "Cross-Modal",
+                      "Cross-Over", "Paper(T/I/CM/CO)"});
+  const char* paper[5] = {"1.12/1.43/1.52/60k", "1.49/2.32/2.43/50k",
+                          "0.88/0.95/1.14/5k", "1.74/2.00/2.45/4k",
+                          "1.67/2.03/2.42/750k"};
+  for (int ct = 1; ct <= 5; ++ct) {
+    const TaskContext ctx = SetupTask(ct);
+    PipelineConfig config = DefaultConfig(ctx);
+    CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+    auto result = pipeline.Run();
+    CM_CHECK(result.ok()) << result.status();
+    const FeatureStore& store = pipeline.store();
+    const auto& sel = pipeline.selection();
+
+    const double base = EmbeddingBaselineAuprc(ctx, store, config.model);
+
+    auto text = TrainTextOnly(ctx.corpus, store, sel.text_model_features,
+                              config.model);
+    CM_CHECK(text.ok()) << text.status();
+    const double text_auprc =
+        EvaluateModel(**text, ctx.corpus.image_test, store).auprc;
+
+    auto image = TrainImageOnlyWeak(result->curation.weak_labels, store,
+                                    sel.image_model_features, config.model);
+    CM_CHECK(image.ok()) << image.status();
+    const double image_auprc =
+        EvaluateModel(**image, ctx.corpus.image_test, store).auprc;
+
+    const double cm_auprc =
+        EvaluateModel(*result->model, ctx.corpus.image_test, store).auprc;
+
+    const size_t crossover = FindCrossOver(
+        ctx, store, sel.image_model_features, config.model, cm_auprc);
+
+    table.AddRow({ctx.task.name, TablePrinter::Num(base, 3),
+                  TablePrinter::Factor(text_auprc / base),
+                  TablePrinter::Factor(image_auprc / base),
+                  TablePrinter::Factor(cm_auprc / base),
+                  crossover == 0 ? std::string("> pool")
+                                 : std::to_string(crossover),
+                  paper[ct - 1]});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape checks vs the paper: (1) cross-modal >= image-WS >= text on\n"
+      "most tasks; (2) text can fall below 1.0 on the hardest task (CT 3);\n"
+      "(3) cross-over budgets are a substantial fraction of the pool\n"
+      "(paper: 4k-750k hand-labeled images at production scale).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table 3: relative improvement from adding the
+// label-propagation LF to the mined LFs, per task — precision, recall and
+// F1 of the generative model on the unlabeled new modality, and AUPRC of
+// the end discriminative model.
+
+#include "bench_common.h"
+#include "labeling/lf_quality.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+struct ArmResult {
+  BinaryQuality quality;
+  double auprc = 0.0;
+};
+
+ArmResult RunArm(const TaskContext& ctx, bool use_label_prop) {
+  PipelineConfig config = DefaultConfig(ctx);
+  config.curation.use_label_propagation = use_label_prop;
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+  ArmResult arm;
+  const std::vector<int> truth =
+      UnlabeledTruth(ctx, result->curation.weak_labels);
+  arm.quality = EvaluateProbabilisticLabels(
+      result->curation.weak_labels, truth, WsDecisionThreshold(ctx, config));
+  arm.auprc = EvaluateModel(*result->model, ctx.corpus.image_test,
+                            pipeline.store())
+                  .auprc;
+  return arm;
+}
+
+std::string Ratio(double with_prop, double without) {
+  if (without <= 1e-12) {
+    return with_prop <= 1e-12 ? std::string("1.00x") : std::string("inf");
+  }
+  return TablePrinter::Factor(with_prop / without);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3: label propagation lift",
+              "Table 3 (paper: P 0.87-1.45x, R up to 162x, F1 up to 129x, "
+              "AUPRC 1.00-1.25x)");
+  TablePrinter table({"Task", "Precision", "Recall", "F1", "AUPRC",
+                      "Paper(P/R/F1/AUPRC)"});
+  const char* paper[5] = {"0.95/1.23/1.10/1.01", "1.00/1.00/1.00/1.00",
+                          "0.87/1.31/1.21/1.25", "1.45/162/129/1.24",
+                          "1.40/46.0/44.0/1.05"};
+  for (int ct = 1; ct <= 5; ++ct) {
+    const TaskContext ctx = SetupTask(ct);
+    const ArmResult without = RunArm(ctx, /*use_label_prop=*/false);
+    const ArmResult with_prop = RunArm(ctx, /*use_label_prop=*/true);
+    table.AddRow({ctx.task.name,
+                  Ratio(with_prop.quality.precision, without.quality.precision),
+                  Ratio(with_prop.quality.recall, without.quality.recall),
+                  Ratio(with_prop.quality.f1, without.quality.f1),
+                  Ratio(with_prop.auprc, without.auprc), paper[ct - 1]});
+    std::printf("  [%s without prop: P %.3f R %.3f F1 %.3f | with prop: "
+                "P %.3f R %.3f F1 %.3f]\n",
+                ctx.task.name.c_str(), without.quality.precision,
+                without.quality.recall, without.quality.f1,
+                with_prop.quality.precision, with_prop.quality.recall,
+                with_prop.quality.f1);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nShape checks: (1) recall lifts are largest on the heavily\n"
+      "class-imbalanced tasks with few blatant positives (CT 4, CT 5);\n"
+      "(2) the easy task (CT 2) gains nothing — mined LFs already capture\n"
+      "the positive class; (3) F1 improves net everywhere propagation\n"
+      "fires; end-model AUPRC lift is modest (paper: 1.00-1.25x).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Content moderation walk-through: the paper's motivating scenario, one
+// pipeline step at a time.
+//
+// A moderation team has a mature text classifier (18k labeled posts here)
+// and must extend the same policy task to freshly launched image posts with
+// no labels. This example narrates each step of the augmented split
+// architecture: (A) building the common feature space from organizational
+// resources, (B) curating weakly supervised training data (mined LFs +
+// label propagation + the generative label model), and (C) multi-modal
+// training — then compares the result against the fully supervised baseline
+// and reports where the hand-labeling cross-over lies.
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "labeling/lf_quality.h"
+#include "synth/corpus_generator.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+using namespace crossmodal;
+
+int main() {
+  // ------------------------------------------------------------------
+  // Setup: the task, the corpora, and the organization's resources.
+  // ------------------------------------------------------------------
+  const WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(1).Scaled(0.5);
+  CorpusGenerator generator(world, task);
+  const Corpus corpus = generator.Generate();
+  auto registry = BuildModerationRegistry(generator, /*seed=*/2024);
+  CM_CHECK(registry.ok()) << registry.status();
+
+  std::printf("Task: %s (positive rate %.1f%%)\n", task.name.c_str(),
+              100.0 * task.pos_rate);
+  std::printf("Old modality:   %zu labeled text posts\n",
+              corpus.text_labeled.size());
+  std::printf("New modality:   %zu unlabeled image posts (live traffic)\n",
+              corpus.image_unlabeled.size());
+  std::printf("Resources:      %zu organizational services\n\n",
+              registry->size());
+
+  // List the resource library (step A's raw material).
+  TablePrinter services({"Service", "Kind", "Set", "Type", "Servable"});
+  for (size_t i = 0; i < registry->size(); ++i) {
+    const FeatureService& svc = registry->service(static_cast<FeatureId>(i));
+    const FeatureDef& def = svc.output_def();
+    services.AddRow({def.name, ResourceKindName(svc.kind()),
+                     ServiceSetName(def.set), FeatureTypeName(def.type),
+                     def.servable ? "yes" : "NO (offline only)"});
+  }
+  services.Print(std::cout);
+
+  // ------------------------------------------------------------------
+  // Step A+B: feature generation and training-data curation.
+  // ------------------------------------------------------------------
+  PipelineConfig config;
+  config.model.train.epochs = 10;
+  config.model.ensemble_size = 3;
+  config.curation.label_model.fixed_class_balance = task.pos_rate;
+  config.curation.prop_target_precision_pos = 0.5;
+  CrossModalPipeline pipeline(&registry.value(), &corpus, config);
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+
+  std::printf("\n-- Step B: curation --\n");
+  std::printf("mined LFs: %zu positive, %zu negative (%.2fs of mining; the\n"
+              "paper's expert needed 7 hours spread over two weeks)\n",
+              curation->mining_report.accepted_positive,
+              curation->mining_report.accepted_negative,
+              curation->mining_report.elapsed_seconds);
+  std::printf("label propagation: graph avg degree %.1f, converged in %d "
+              "iterations\n",
+              curation->graph_avg_degree, curation->propagation_iterations);
+  std::printf("LF coverage of unlabeled images: %.1f%%\n",
+              100.0 * curation->lf_total_coverage);
+
+  // Show the top mined LFs as a domain expert would review them (§7.2:
+  // mined results as a starting point for expert exploration).
+  std::vector<EntityId> dev_ids;
+  std::vector<int> dev_truth;
+  for (size_t i = 0; i < 2000 && i < corpus.text_labeled.size(); ++i) {
+    dev_ids.push_back(corpus.text_labeled[i].id);
+    dev_truth.push_back(corpus.text_labeled[i].label == 1 ? 1 : 0);
+  }
+  const LabelMatrix dev_matrix =
+      ApplyLabelingFunctions(curation->lfs, dev_ids, pipeline.store());
+  const auto lf_quality = EvaluateLFs(dev_matrix, dev_truth);
+  TablePrinter lf_table({"Labeling function", "Polarity", "Coverage",
+                         "Precision", "Recall"});
+  size_t shown = 0;
+  for (const auto& q : lf_quality) {
+    if (q.polarity != 1 || shown >= 6) continue;
+    ++shown;
+    lf_table.AddRow({q.name, "+", TablePrinter::Num(q.coverage, 3),
+                     TablePrinter::Num(q.precision, 2),
+                     TablePrinter::Num(q.recall, 3)});
+  }
+  std::printf("\ntop positive LFs on the text dev set:\n");
+  lf_table.Print(std::cout);
+
+  // ------------------------------------------------------------------
+  // Step C: multi-modal training + evaluation.
+  // ------------------------------------------------------------------
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+  const EvalResult cm =
+      EvaluateModel(*result->model, corpus.image_test, pipeline.store());
+
+  // Baseline: what the team would get from hand-labeling instead.
+  const auto& sel = pipeline.selection();
+  TablePrinter outcome({"Model", "AUPRC", "ROC-AUC"});
+  outcome.AddRow({"cross-modal pipeline (no image labels)",
+                  TablePrinter::Num(cm.auprc, 3),
+                  TablePrinter::Num(cm.roc_auc, 3)});
+  size_t crossover = 0;
+  for (size_t budget : {100u, 250u, 500u, 1000u, 2000u}) {
+    if (budget > corpus.image_labeled_pool.size()) break;
+    auto supervised = TrainFullySupervisedImage(
+        corpus, pipeline.store(), sel.image_model_features, budget,
+        config.model);
+    CM_CHECK(supervised.ok()) << supervised.status();
+    const EvalResult ev =
+        EvaluateModel(**supervised, corpus.image_test, pipeline.store());
+    outcome.AddRow({"fully supervised, " + std::to_string(budget) +
+                        " hand labels",
+                    TablePrinter::Num(ev.auprc, 3),
+                    TablePrinter::Num(ev.roc_auc, 3)});
+    if (crossover == 0 && ev.auprc >= cm.auprc) crossover = budget;
+  }
+  std::printf("\n-- Step C: results on %zu held-out labeled images --\n",
+              corpus.image_test.size());
+  outcome.Print(std::cout);
+  if (crossover > 0) {
+    std::printf("\nThe pipeline ships on day one; hand-labeling only wins "
+                "after ~%zu reviewed images.\n", crossover);
+  } else {
+    std::printf("\nThe pipeline beats every supervised budget in the pool.\n");
+  }
+  return 0;
+}

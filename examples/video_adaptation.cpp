@@ -1,0 +1,84 @@
+// Video adaptation: extending the image-era pipeline to a third modality.
+//
+// The paper's frame-splitting story (§3.1.1): when video posts launch, the
+// team splits each video into representative frames, runs the image-era
+// organizational services on the frames, and pools the outputs back into
+// the common feature space — so the cross-modal model trained for images
+// scores videos without retraining.
+
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "resources/frame_splitter.h"
+#include "synth/corpus_generator.h"
+#include "util/logging.h"
+
+using namespace crossmodal;
+
+int main() {
+  const WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(2).Scaled(0.3);
+  CorpusGenerator generator(world, task);
+  const Corpus corpus = generator.Generate();
+  auto registry = BuildModerationRegistry(generator, /*seed=*/7);
+  CM_CHECK(registry.ok()) << registry.status();
+
+  // ---- Train the text -> image cross-modal model as usual. -------------
+  PipelineConfig config;
+  config.model.ensemble_size = 3;
+  config.curation.label_model.fixed_class_balance = task.pos_rate;
+  CrossModalPipeline pipeline(&registry.value(), &corpus, config);
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+  const EvalResult image_eval =
+      EvaluateModel(*result->model, corpus.image_test, pipeline.store());
+  std::printf("image test AUPRC: %.3f (positive rate %.1f%%)\n",
+              image_eval.auprc, 100.0 * task.pos_rate);
+
+  // ---- Video launches: generate video traffic. --------------------------
+  const size_t n_videos = 1500;
+  const size_t n_pos = static_cast<size_t>(n_videos * task.pos_rate);
+  Rng rng(DeriveSeed(task.seed, "videos"));
+  std::vector<Entity> videos;
+  videos.reserve(n_videos);
+  for (size_t i = 0; i < n_videos; ++i) {
+    const int frames = 4 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    videos.push_back(generator.MakeVideoEntity(
+        i < n_pos, /*id=*/5'000'000 + i, /*timestamp=*/2000, frames, &rng));
+  }
+
+  // ---- Featurize each video: split -> per-frame services -> pool. ------
+  VideoFrameSplitter splitter(/*max_frames=*/6);
+  std::vector<double> scores;
+  std::vector<Entity> scored_videos;
+  size_t total_frames = 0;
+  for (const Entity& video : videos) {
+    auto frames = splitter.Split(video);
+    CM_CHECK(frames.ok()) << frames.status();
+    std::vector<FeatureVector> frame_rows;
+    frame_rows.reserve(frames->size());
+    for (const Entity& frame : *frames) {
+      frame_rows.push_back(registry->GenerateFeatures(frame));
+    }
+    total_frames += frame_rows.size();
+    const FeatureVector video_row =
+        AggregateFrameRows(frame_rows, registry->schema());
+    scores.push_back(result->model->Score(video_row));
+    scored_videos.push_back(video);
+  }
+  std::printf("scored %zu videos via %zu extracted frames\n", videos.size(),
+              total_frames);
+
+  // ---- How well does the image-era model transfer to video? ------------
+  const EvalResult video_eval = EvaluateScores(scores, scored_videos);
+  std::printf("video AUPRC: %.3f (chance level = positive rate %.3f)\n",
+              video_eval.auprc, task.pos_rate);
+  std::printf("video ROC-AUC: %.3f\n", video_eval.roc_auc);
+  CM_CHECK(video_eval.auprc > 2.0 * task.pos_rate)
+      << "video transfer should beat chance decisively";
+  std::printf("\nThe image-era cross-modal model extends to the brand-new "
+              "video modality\nthrough frame splitting alone — no video "
+              "labels, no retraining.\n");
+  return 0;
+}

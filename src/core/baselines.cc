@@ -1,0 +1,72 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+namespace crossmodal {
+
+namespace {
+/// All baselines are single-modality early-fusion models: the shared
+/// machinery already handles masking and encoding.
+Result<CrossModalModelPtr> TrainSingleChannel(
+    const FeatureStore& store, std::vector<TrainPoint> points,
+    const std::vector<FeatureId>& features, const ModelSpec& spec) {
+  FusionInput input;
+  input.store = &store;
+  input.points = std::move(points);
+  input.text_features = features;
+  input.image_features = features;
+  return TrainEarlyFusion(input, spec);
+}
+}  // namespace
+
+Result<CrossModalModelPtr> TrainFullySupervisedImage(
+    const Corpus& corpus, const FeatureStore& store,
+    const std::vector<FeatureId>& features, size_t budget,
+    const ModelSpec& spec) {
+  const auto& pool = corpus.image_labeled_pool;
+  const size_t n = budget == 0 ? pool.size() : std::min(budget, pool.size());
+  if (n == 0) {
+    return Status::InvalidArgument("empty supervised pool");
+  }
+  std::vector<TrainPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(TrainPoint{pool[i].id, Modality::kImage,
+                                pool[i].label == 1 ? 1.0f : 0.0f, 1.0f});
+  }
+  return TrainSingleChannel(store, std::move(points), features, spec);
+}
+
+Result<CrossModalModelPtr> TrainTextOnly(
+    const Corpus& corpus, const FeatureStore& store,
+    const std::vector<FeatureId>& features, const ModelSpec& spec) {
+  std::vector<TrainPoint> points;
+  points.reserve(corpus.text_labeled.size());
+  for (const Entity& e : corpus.text_labeled) {
+    points.push_back(TrainPoint{e.id, Modality::kText,
+                                e.label == 1 ? 1.0f : 0.0f, 1.0f});
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("no labeled text points");
+  }
+  return TrainSingleChannel(store, std::move(points), features, spec);
+}
+
+Result<CrossModalModelPtr> TrainImageOnlyWeak(
+    const std::vector<ProbabilisticLabel>& weak_labels,
+    const FeatureStore& store, const std::vector<FeatureId>& features,
+    const ModelSpec& spec, bool drop_uncovered) {
+  std::vector<TrainPoint> points;
+  points.reserve(weak_labels.size());
+  for (const ProbabilisticLabel& label : weak_labels) {
+    if (drop_uncovered && !label.covered) continue;
+    points.push_back(TrainPoint{label.entity, Modality::kImage,
+                                static_cast<float>(label.p_positive), 1.0f});
+  }
+  if (points.empty()) {
+    return Status::FailedPrecondition("no covered weakly labeled points");
+  }
+  return TrainSingleChannel(store, std::move(points), features, spec);
+}
+
+}  // namespace crossmodal

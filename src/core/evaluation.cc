@@ -1,0 +1,32 @@
+#include "core/evaluation.h"
+
+namespace crossmodal {
+
+EvalResult EvaluateScores(const std::vector<double>& scores,
+                          const std::vector<Entity>& entities) {
+  std::vector<int> labels;
+  labels.reserve(entities.size());
+  for (const Entity& e : entities) labels.push_back(e.label == 1 ? 1 : 0);
+  EvalResult result;
+  result.auprc = AveragePrecision(scores, labels);
+  result.roc_auc = RocAuc(scores, labels);
+  result.prf = PrecisionRecallF1(scores, labels);
+  result.n = entities.size();
+  for (int y : labels) result.n_pos += (y == 1);
+  return result;
+}
+
+EvalResult EvaluateModel(const CrossModalModel& model,
+                         const std::vector<Entity>& entities,
+                         const FeatureStore& store) {
+  std::vector<double> scores;
+  scores.reserve(entities.size());
+  const FeatureVector empty(store.schema().size());
+  for (const Entity& e : entities) {
+    auto row = store.Get(e.id);
+    scores.push_back(model.Score(row.ok() ? **row : empty));
+  }
+  return EvaluateScores(scores, entities);
+}
+
+}  // namespace crossmodal

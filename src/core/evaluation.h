@@ -1,0 +1,35 @@
+// Test-set evaluation helpers shared by benches and examples.
+
+#ifndef CROSSMODAL_CORE_EVALUATION_H_
+#define CROSSMODAL_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "fusion/fusion.h"
+#include "ml/metrics.h"
+#include "synth/entity.h"
+
+namespace crossmodal {
+
+/// AUPRC / ROC / P-R-F1 of a model on labeled image entities.
+struct EvalResult {
+  double auprc = 0.0;
+  double roc_auc = 0.0;
+  PrfMetrics prf;
+  size_t n = 0;
+  size_t n_pos = 0;
+};
+
+/// Scores `entities` (their rows must be in `store`) and computes metrics
+/// against their ground-truth labels.
+EvalResult EvaluateModel(const CrossModalModel& model,
+                         const std::vector<Entity>& entities,
+                         const FeatureStore& store);
+
+/// Metrics from precomputed scores.
+EvalResult EvaluateScores(const std::vector<double>& scores,
+                          const std::vector<Entity>& entities);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_CORE_EVALUATION_H_

@@ -1,0 +1,24 @@
+#include "dataflow/feature_generation.h"
+
+#include <utility>
+
+namespace crossmodal {
+
+void GenerateFeatures(const std::vector<Entity>& entities,
+                      const ResourceRegistry& registry,
+                      MapReduceExecutor* executor, FeatureStore* store) {
+  using Row = std::pair<EntityId, FeatureVector>;
+  std::function<Row(const Entity&)> fn = [&registry](const Entity& e) {
+    return Row{e.id, registry.GenerateFeatures(e)};
+  };
+  auto rows = executor->ParallelMap(entities, fn);
+  for (auto& [id, row] : rows) store->Put(id, std::move(row));
+}
+
+void GenerateFeatures(const std::vector<Entity>& entities,
+                      const ResourceRegistry& registry, FeatureStore* store) {
+  MapReduceExecutor executor;
+  GenerateFeatures(entities, registry, &executor, store);
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,27 @@
+// Feature-generation job: pipeline step A run on the dataflow engine.
+
+#ifndef CROSSMODAL_DATAFLOW_FEATURE_GENERATION_H_
+#define CROSSMODAL_DATAFLOW_FEATURE_GENERATION_H_
+
+#include <vector>
+
+#include "dataflow/mapreduce.h"
+#include "features/feature_vector.h"
+#include "resources/registry.h"
+#include "synth/entity.h"
+
+namespace crossmodal {
+
+/// Applies every service in `registry` to every entity (in parallel on
+/// `executor`) and materializes the rows into `store`.
+void GenerateFeatures(const std::vector<Entity>& entities,
+                      const ResourceRegistry& registry,
+                      MapReduceExecutor* executor, FeatureStore* store);
+
+/// Convenience overload running on a private executor.
+void GenerateFeatures(const std::vector<Entity>& entities,
+                      const ResourceRegistry& registry, FeatureStore* store);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_DATAFLOW_FEATURE_GENERATION_H_

@@ -1,0 +1,124 @@
+#include "extensions/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace crossmodal {
+
+const char* AcquisitionStrategyName(AcquisitionStrategy strategy) {
+  switch (strategy) {
+    case AcquisitionStrategy::kUncertainty:
+      return "uncertainty";
+    case AcquisitionStrategy::kPositiveHunt:
+      return "positive-hunt";
+    case AcquisitionStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Ranks the remaining candidates under the strategy; best first.
+std::vector<EntityId> RankCandidates(
+    const std::vector<EntityId>& remaining, const CrossModalModel& model,
+    const FeatureStore& store, AcquisitionStrategy strategy, Rng* rng) {
+  std::vector<std::pair<double, EntityId>> scored;
+  scored.reserve(remaining.size());
+  for (EntityId id : remaining) {
+    auto row = store.Get(id);
+    if (!row.ok()) continue;
+    double key = 0.0;
+    switch (strategy) {
+      case AcquisitionStrategy::kUncertainty:
+        key = -std::abs(model.Score(**row) - 0.5);  // closest to boundary
+        break;
+      case AcquisitionStrategy::kPositiveHunt:
+        key = model.Score(**row);  // most likely positive
+        break;
+      case AcquisitionStrategy::kRandom:
+        key = rng->Uniform();
+        break;
+    }
+    scored.emplace_back(key, id);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic ties
+  });
+  std::vector<EntityId> out;
+  out.reserve(scored.size());
+  for (const auto& [key, id] : scored) out.push_back(id);
+  return out;
+}
+
+}  // namespace
+
+Result<ActiveLearningResult> RunActiveLearning(
+    const FusionInput& base_input, const std::vector<EntityId>& candidates,
+    const LabelOracle& oracle, const ModelSpec& spec,
+    const ActiveLearningOptions& options) {
+  if (base_input.points.empty()) {
+    return Status::InvalidArgument("base training input is empty");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidates to review");
+  }
+  if (options.rounds <= 0 || options.budget_per_round == 0) {
+    return Status::InvalidArgument("rounds and budget must be positive");
+  }
+
+  ActiveLearningResult result;
+  Rng rng(options.seed);
+
+  // Working copy of the training set, indexed so reviewed entities replace
+  // their weak versions.
+  FusionInput input = base_input;
+  std::unordered_map<EntityId, size_t> point_index;
+  for (size_t i = 0; i < input.points.size(); ++i) {
+    if (input.points[i].modality == Modality::kImage) {
+      point_index.emplace(input.points[i].id, i);
+    }
+  }
+
+  CM_ASSIGN_OR_RETURN(result.model, TrainEarlyFusion(input, spec));
+  std::vector<EntityId> remaining = candidates;
+  std::unordered_set<EntityId> reviewed;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    const auto ranked = RankCandidates(remaining, *result.model,
+                                       *input.store, options.strategy, &rng);
+    const size_t take = std::min(options.budget_per_round, ranked.size());
+    if (take == 0) break;
+    for (size_t k = 0; k < take; ++k) {
+      const EntityId id = ranked[k];
+      const int label = oracle(id);
+      result.reviewed.push_back(id);
+      reviewed.insert(id);
+      result.positives_found += (label == 1);
+      const TrainPoint reviewed_point{id, Modality::kImage,
+                                      label == 1 ? 1.0f : 0.0f, 1.0f};
+      auto it = point_index.find(id);
+      if (it != point_index.end()) {
+        input.points[it->second] = reviewed_point;  // replace weak label
+      } else {
+        point_index.emplace(id, input.points.size());
+        input.points.push_back(reviewed_point);
+      }
+    }
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&](EntityId id) {
+                                     return reviewed.count(id) > 0;
+                                   }),
+                    remaining.end());
+    CM_ASSIGN_OR_RETURN(result.model, TrainEarlyFusion(input, spec));
+  }
+  return result;
+}
+
+}  // namespace crossmodal

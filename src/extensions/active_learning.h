@@ -1,0 +1,64 @@
+// Active learning on top of the cross-modal pipeline (§6.4).
+//
+// The paper deploys the weakly supervised model first and then augments it
+// "via techniques for active learning ... on the order of days": human
+// reviewers label the points the current model is least sure about, and the
+// model retrains with those labels added at full weight. This module
+// implements the selector and the augmentation loop; the "human" is any
+// label oracle (benches and tests use the synthetic ground truth).
+
+#ifndef CROSSMODAL_EXTENSIONS_ACTIVE_LEARNING_H_
+#define CROSSMODAL_EXTENSIONS_ACTIVE_LEARNING_H_
+
+#include <functional>
+#include <vector>
+
+#include "fusion/fusion.h"
+#include "ml/trainer.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// How candidate points are ranked for review.
+enum class AcquisitionStrategy {
+  kUncertainty,  ///< Closest to the decision boundary (|p - 0.5| smallest).
+  kPositiveHunt, ///< Highest predicted positive probability (class
+                 ///< imbalance: reviewers find positives fastest this way).
+  kRandom,       ///< Uniform sampling (the baseline active learning beats).
+};
+
+const char* AcquisitionStrategyName(AcquisitionStrategy strategy);
+
+/// Returns a label in {0, 1} for an entity — a human reviewer stand-in.
+using LabelOracle = std::function<int(EntityId)>;
+
+/// Configuration of one active-learning round.
+struct ActiveLearningOptions {
+  AcquisitionStrategy strategy = AcquisitionStrategy::kUncertainty;
+  size_t budget_per_round = 100;  ///< Reviewer labels per round.
+  int rounds = 1;
+  uint64_t seed = 0xAC71;
+};
+
+/// Result of an augmentation run.
+struct ActiveLearningResult {
+  CrossModalModelPtr model;          ///< Retrained model after the last round.
+  std::vector<EntityId> reviewed;    ///< Points sent to the oracle, in order.
+  size_t positives_found = 0;        ///< Oracle positives among reviewed.
+};
+
+/// Runs `rounds` of select -> review -> retrain on top of an existing
+/// fusion training set. `candidates` are the unlabeled new-modality points
+/// eligible for review (typically the pipeline's unlabeled split);
+/// `base_input` is the pipeline's training set (weak labels + old-modality
+/// labels); reviewed points are appended as hard-labeled image points (any
+/// weak version of the same entity is replaced). Fails if candidates or the
+/// training input are empty.
+Result<ActiveLearningResult> RunActiveLearning(
+    const FusionInput& base_input, const std::vector<EntityId>& candidates,
+    const LabelOracle& oracle, const ModelSpec& spec,
+    const ActiveLearningOptions& options);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_EXTENSIONS_ACTIVE_LEARNING_H_

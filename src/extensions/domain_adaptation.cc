@@ -1,0 +1,111 @@
+#include "extensions/domain_adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/encoder.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "util/logging.h"
+
+namespace crossmodal {
+
+Result<DomainAdaptationReport> ReweightOldModality(
+    FusionInput* input, const DomainAdaptationOptions& options) {
+  if (input == nullptr || input->store == nullptr) {
+    return Status::InvalidArgument("input and its store must be set");
+  }
+  std::vector<size_t> text_idx, image_idx;
+  for (size_t i = 0; i < input->points.size(); ++i) {
+    (input->points[i].modality == Modality::kText ? text_idx : image_idx)
+        .push_back(i);
+  }
+  if (text_idx.empty() || image_idx.empty()) {
+    return Status::FailedPrecondition(
+        "domain adaptation needs points of both modalities");
+  }
+
+  // The domain classifier sees only the features shared by both channels:
+  // the text feature list restricted to what images may also carry.
+  const std::vector<FeatureId>& features =
+      options.features.empty() ? input->text_features : options.features;
+  if (features.empty()) {
+    return Status::InvalidArgument("no features for the domain classifier");
+  }
+
+  // Build the masked rows and the domain dataset: y = 1 for the NEW
+  // modality (so P(y=1|x) estimates P(new|x)).
+  const size_t arity = input->store->schema().size();
+  std::vector<FeatureVector> rows;
+  std::vector<int> domain;
+  rows.reserve(input->points.size());
+  for (const TrainPoint& p : input->points) {
+    CM_ASSIGN_OR_RETURN(const FeatureVector* row, input->store->Get(p.id));
+    rows.push_back(MaskRow(*row, features, arity));
+    domain.push_back(p.modality == Modality::kImage ? 1 : 0);
+  }
+  std::vector<const FeatureVector*> ptrs;
+  ptrs.reserve(rows.size());
+  for (const auto& r : rows) ptrs.push_back(&r);
+
+  EncoderOptions enc_options;
+  enc_options.features = features;
+  CM_ASSIGN_OR_RETURN(FeatureEncoder encoder,
+                      FeatureEncoder::Fit(input->store->schema(), ptrs,
+                                          std::move(enc_options)));
+  Dataset data;
+  data.dim = encoder.dim();
+  // Balance the domains in the loss so the classifier estimates the
+  // density ratio, not the mixing proportion.
+  const float w_text = 1.0f / static_cast<float>(text_idx.size());
+  const float w_image = 1.0f / static_cast<float>(image_idx.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Example ex;
+    ex.x = encoder.Encode(rows[i]);
+    ex.target = static_cast<float>(domain[i]);
+    ex.weight = domain[i] == 1 ? w_image : w_text;
+    data.examples.push_back(std::move(ex));
+  }
+  TrainOptions train;
+  train.epochs = options.epochs;
+  train.seed = options.seed;
+  CM_ASSIGN_OR_RETURN(LogisticRegression classifier,
+                      LogisticRegression::Train(data, train));
+
+  // Evaluate separability + compute clipped density ratios for text rows.
+  DomainAdaptationReport report;
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    scores.push_back(classifier.Predict(data.examples[i].x));
+  }
+  report.domain_auc = RocAuc(scores, domain);
+
+  const double clip = std::max(1.0, options.clip);
+  double total_before = 0.0, total_after = 0.0;
+  std::vector<double> multipliers(text_idx.size());
+  for (size_t k = 0; k < text_idx.size(); ++k) {
+    const size_t i = text_idx[k];
+    const double p_new = std::clamp(scores[i], 1e-6, 1.0 - 1e-6);
+    const double ratio = std::clamp(p_new / (1.0 - p_new), 1.0 / clip, clip);
+    multipliers[k] = ratio;
+    total_before += input->points[i].weight;
+    total_after += input->points[i].weight * ratio;
+  }
+  // Renormalize so the text channel keeps its total mass.
+  const double norm = total_after > 0.0 ? total_before / total_after : 1.0;
+  double sum_mult = 0.0, max_mult = 0.0;
+  for (size_t k = 0; k < text_idx.size(); ++k) {
+    const double m = multipliers[k] * norm;
+    input->points[text_idx[k]].weight =
+        static_cast<float>(input->points[text_idx[k]].weight * m);
+    sum_mult += m;
+    max_mult = std::max(max_mult, m);
+  }
+  report.mean_weight = sum_mult / static_cast<double>(text_idx.size());
+  report.max_weight = max_mult;
+  report.reweighted = text_idx.size();
+  return report;
+}
+
+}  // namespace crossmodal

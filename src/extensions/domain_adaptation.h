@@ -1,0 +1,54 @@
+// Domain adaptation across modalities (§7.3).
+//
+// The paper's future-work direction: even inside the common feature space,
+// the modalities' input distributions differ, and it proposes domain
+// adaptation "as a primitive to help balance between the data modalities".
+// This module implements the classic importance-weighting primitive: a
+// logistic domain classifier is trained to distinguish old-modality rows
+// from new-modality rows over their shared features, and each old-modality
+// training point is re-weighted by the density ratio
+// P(new | x) / P(old | x), so the old modality's labeled data mimics the
+// new modality's covariate distribution.
+
+#ifndef CROSSMODAL_EXTENSIONS_DOMAIN_ADAPTATION_H_
+#define CROSSMODAL_EXTENSIONS_DOMAIN_ADAPTATION_H_
+
+#include <vector>
+
+#include "fusion/fusion.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Importance-weighting configuration.
+struct DomainAdaptationOptions {
+  /// Features used by the domain classifier; defaults (empty) to the
+  /// intersection implied by the fusion input's text feature list.
+  std::vector<FeatureId> features;
+  /// Density ratios are clipped to [1/clip, clip] (variance control).
+  double clip = 5.0;
+  /// Domain-classifier training epochs.
+  int epochs = 8;
+  uint64_t seed = 0xD0A1;
+};
+
+/// Summary of a reweighting pass.
+struct DomainAdaptationReport {
+  double domain_auc = 0.5;   ///< Domain classifier ROC-AUC (0.5 = channels
+                             ///< indistinguishable, 1.0 = fully separable).
+  double mean_weight = 1.0;  ///< Mean multiplier applied to text points.
+  double max_weight = 1.0;
+  size_t reweighted = 0;
+};
+
+/// Multiplies each old-modality (text) point's weight in `input` by its
+/// clipped density ratio; new-modality points are untouched. Weights are
+/// renormalized so the text channel's total mass is preserved (the
+/// correction changes the *shape* of the text distribution, not its size).
+/// Fails when either modality has no points.
+Result<DomainAdaptationReport> ReweightOldModality(
+    FusionInput* input, const DomainAdaptationOptions& options);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_EXTENSIONS_DOMAIN_ADAPTATION_H_

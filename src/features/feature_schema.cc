@@ -1,0 +1,77 @@
+#include "features/feature_schema.h"
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+const char* ServiceSetName(ServiceSet set) {
+  switch (set) {
+    case ServiceSet::kA:
+      return "A";
+    case ServiceSet::kB:
+      return "B";
+    case ServiceSet::kC:
+      return "C";
+    case ServiceSet::kD:
+      return "D";
+    case ServiceSet::kImage:
+      return "E(image)";
+  }
+  return "?";
+}
+
+Result<FeatureId> FeatureSchema::Add(FeatureDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("feature name must be non-empty");
+  }
+  if (by_name_.count(def.name) > 0) {
+    return Status::AlreadyExists("feature already declared: " + def.name);
+  }
+  const FeatureId id = static_cast<FeatureId>(defs_.size());
+  by_name_.emplace(def.name, id);
+  defs_.push_back(std::move(def));
+  return id;
+}
+
+const FeatureDef& FeatureSchema::def(FeatureId id) const {
+  CM_CHECK(id >= 0 && static_cast<size_t>(id) < defs_.size())
+      << "feature id out of range: " << id;
+  return defs_[static_cast<size_t>(id)];
+}
+
+Result<FeatureId> FeatureSchema::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such feature: " + name);
+  }
+  return it->second;
+}
+
+std::vector<FeatureId> FeatureSchema::Select(
+    const std::vector<ServiceSet>& sets, bool servable_only,
+    int modality_mask) const {
+  std::vector<FeatureId> out;
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    const FeatureDef& d = defs_[i];
+    bool in_set = false;
+    for (ServiceSet s : sets) {
+      if (d.set == s) {
+        in_set = true;
+        break;
+      }
+    }
+    if (!in_set) continue;
+    if (servable_only && !d.servable) continue;
+    if ((d.modalities & modality_mask) == 0) continue;
+    out.push_back(static_cast<FeatureId>(i));
+  }
+  return out;
+}
+
+std::vector<FeatureId> FeatureSchema::AllIds() const {
+  std::vector<FeatureId> out(defs_.size());
+  for (size_t i = 0; i < defs_.size(); ++i) out[i] = static_cast<FeatureId>(i);
+  return out;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,85 @@
+// FeatureSchema: the declared common feature space F = {f_1, ..., f_k}.
+//
+// Each organizational resource contributes one FeatureDef (§3.1). The schema
+// records, per feature: its type and vocabulary, which service set it belongs
+// to (the paper's A/B/C/D grouping, §6.2), which modalities it applies to,
+// and whether it is servable at inference time (§6.4's nonservable features
+// may be used for weak supervision only).
+
+#ifndef CROSSMODAL_FEATURES_FEATURE_SCHEMA_H_
+#define CROSSMODAL_FEATURES_FEATURE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "features/feature_value.h"
+#include "features/modality.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crossmodal {
+
+/// Index of a feature within a schema.
+using FeatureId = int32_t;
+
+/// The paper's service-set grouping used throughout §6: URL-based (A),
+/// keyword-based (B), topic-model-based (C), page-content-based (D), plus
+/// image-specific embedding/quality services (E).
+enum class ServiceSet : uint8_t { kA = 0, kB = 1, kC = 2, kD = 3, kImage = 4 };
+
+const char* ServiceSetName(ServiceSet set);
+
+/// Declaration of one feature in the common space.
+struct FeatureDef {
+  std::string name;
+  FeatureType type = FeatureType::kCategorical;
+  ServiceSet set = ServiceSet::kA;
+  /// Vocabulary size for categorical features; embedding dimension for
+  /// embedding features; ignored for numeric.
+  int32_t cardinality = 0;
+  /// Modalities this feature can be populated for (bitmask of ModalityMask).
+  uint8_t modalities = kAllModalities;
+  /// False for features too costly to compute at serving time; such features
+  /// may feed labeling functions and label propagation but not the end model.
+  bool servable = true;
+};
+
+/// An ordered, named collection of FeatureDefs with O(1) lookup by name.
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+
+  /// Appends a feature; fails if the name already exists.
+  Result<FeatureId> Add(FeatureDef def);
+
+  /// Number of features.
+  size_t size() const { return defs_.size(); }
+  bool empty() const { return defs_.empty(); }
+
+  /// Definition of feature `id`; id must be in range.
+  const FeatureDef& def(FeatureId id) const;
+
+  /// Finds a feature id by name.
+  Result<FeatureId> Find(const std::string& name) const;
+
+  /// All feature ids belonging to the given service sets, optionally
+  /// restricted to servable features and/or a modality.
+  std::vector<FeatureId> Select(const std::vector<ServiceSet>& sets,
+                                bool servable_only = false,
+                                int modality_mask = kAllModalities) const;
+
+  /// All ids, in declaration order.
+  std::vector<FeatureId> AllIds() const;
+
+  const std::vector<FeatureDef>& defs() const { return defs_; }
+
+ private:
+  std::vector<FeatureDef> defs_;
+  std::unordered_map<std::string, FeatureId> by_name_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_FEATURES_FEATURE_SCHEMA_H_

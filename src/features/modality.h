@@ -1,0 +1,50 @@
+// Data modality tags shared across the library.
+
+#ifndef CROSSMODAL_FEATURES_MODALITY_H_
+#define CROSSMODAL_FEATURES_MODALITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crossmodal {
+
+/// A data modality in the application (the paper's setting: models trained
+/// for text entities must adapt to image entities; video splits into image
+/// frames via a frame-splitting service).
+enum class Modality : uint8_t {
+  kText = 0,
+  kImage = 1,
+  kVideo = 2,
+};
+
+inline const char* ModalityName(Modality m) {
+  switch (m) {
+    case Modality::kText:
+      return "text";
+    case Modality::kImage:
+      return "image";
+    case Modality::kVideo:
+      return "video";
+  }
+  return "?";
+}
+
+/// Bitmask of modalities a feature or service applies to.
+enum ModalityMask : uint8_t {
+  kTextMask = 1u << 0,
+  kImageMask = 1u << 1,
+  kVideoMask = 1u << 2,
+  kAllModalities = kTextMask | kImageMask | kVideoMask,
+};
+
+inline uint8_t ModalityBit(Modality m) {
+  return static_cast<uint8_t>(1u << static_cast<uint8_t>(m));
+}
+
+inline bool MaskContains(uint8_t mask, Modality m) {
+  return (mask & ModalityBit(m)) != 0;
+}
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_FEATURES_MODALITY_H_

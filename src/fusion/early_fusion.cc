@@ -1,0 +1,87 @@
+#include "fusion/internal.h"
+#include "util/logging.h"
+
+namespace crossmodal {
+
+namespace {
+
+using fusion_internal::BuildDataset;
+using fusion_internal::CollectRows;
+using fusion_internal::MaskedRows;
+using fusion_internal::UnionFeatures;
+
+/// Single model over the merged feature space; modality-specific features
+/// are missing slots for rows of the other modality. One extra input slot
+/// carries a modality indicator so the model can calibrate per channel (the
+/// feature *distributions* differ across modalities even in the common
+/// space, §6.6).
+class EarlyFusionModel : public CrossModalModel {
+ public:
+  EarlyFusionModel(FeatureEncoder encoder, ModelPtr model,
+                   std::vector<FeatureId> image_features, size_t arity)
+      : encoder_(std::move(encoder)),
+        model_(std::move(model)),
+        image_features_(std::move(image_features)),
+        arity_(arity) {}
+
+  /// Encodes a row plus the modality-indicator slot.
+  SparseRow EncodeWithModality(const FeatureEncoder& encoder,
+                               const FeatureVector& masked,
+                               Modality modality) const {
+    return AppendModalitySlot(encoder, encoder.Encode(masked), modality);
+  }
+
+  static SparseRow AppendModalitySlot(const FeatureEncoder& encoder,
+                                      SparseRow encoded, Modality modality) {
+    if (modality != Modality::kText) {
+      encoded.Add(static_cast<uint32_t>(encoder.dim()), 1.0f);
+    }
+    return encoded;
+  }
+
+  double Score(const FeatureVector& row) const override {
+    const FeatureVector masked = MaskRow(row, image_features_, arity_);
+    return model_->Predict(
+        EncodeWithModality(encoder_, masked, Modality::kImage));
+  }
+
+  const char* method_name() const override { return "early_fusion"; }
+
+  const Model& model() const { return *model_; }
+
+ private:
+  FeatureEncoder encoder_;
+  ModelPtr model_;
+  std::vector<FeatureId> image_features_;
+  size_t arity_;
+};
+
+}  // namespace
+
+Result<CrossModalModelPtr> TrainEarlyFusion(const FusionInput& input,
+                                            const ModelSpec& spec) {
+  if (input.points.empty()) {
+    return Status::InvalidArgument("no training points");
+  }
+  CM_ASSIGN_OR_RETURN(
+      MaskedRows rows,
+      CollectRows(input, /*modality=*/nullptr, /*per_modality_mask=*/true,
+                  /*fixed_mask=*/{}));
+  EncoderOptions enc_options;
+  enc_options.features = UnionFeatures(input);
+  CM_ASSIGN_OR_RETURN(FeatureEncoder encoder,
+                      FeatureEncoder::Fit(input.store->schema(), rows.ptrs,
+                                          std::move(enc_options)));
+  Dataset data = BuildDataset(rows, encoder);
+  data.dim = encoder.dim() + 1;  // + modality indicator
+  for (size_t i = 0; i < data.examples.size(); ++i) {
+    data.examples[i].x = EarlyFusionModel::AppendModalitySlot(
+        encoder, std::move(data.examples[i].x), rows.points[i]->modality);
+  }
+  CM_ASSIGN_OR_RETURN(ModelPtr model, TrainModel(data, spec));
+  return CrossModalModelPtr(std::make_unique<EarlyFusionModel>(
+      std::move(encoder), std::move(model), input.image_features,
+      input.store->schema().size()));
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,135 @@
+#include "fusion/internal.h"
+#include "util/logging.h"
+
+namespace crossmodal {
+
+namespace {
+
+using fusion_internal::BuildDataset;
+using fusion_internal::CollectRows;
+using fusion_internal::MaskedRows;
+
+/// Encodes the concatenation of two dense embeddings as a SparseRow.
+SparseRow ConcatEmbeddings(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  SparseRow row;
+  row.entries.reserve(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    row.Add(static_cast<uint32_t>(i), static_cast<float>(a[i]));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    row.Add(static_cast<uint32_t>(a.size() + i), static_cast<float>(b[i]));
+  }
+  return row;
+}
+
+/// Per-modality models whose penultimate embeddings feed a jointly trained
+/// head (§5, intermediate fusion).
+class IntermediateFusionModel : public CrossModalModel {
+ public:
+  IntermediateFusionModel(FeatureEncoder text_encoder, ModelPtr text_model,
+                          FeatureEncoder image_encoder, ModelPtr image_model,
+                          ModelPtr head, std::vector<FeatureId> text_features,
+                          std::vector<FeatureId> image_features, size_t arity)
+      : text_encoder_(std::move(text_encoder)),
+        text_model_(std::move(text_model)),
+        image_encoder_(std::move(image_encoder)),
+        image_model_(std::move(image_model)),
+        head_(std::move(head)),
+        text_features_(std::move(text_features)),
+        image_features_(std::move(image_features)),
+        arity_(arity) {}
+
+  double Score(const FeatureVector& row) const override {
+    return head_->Predict(EmbedRow(row));
+  }
+
+  /// Shared features are passed into both modality models; each model sees
+  /// the row masked to its own feature set.
+  SparseRow EmbedRow(const FeatureVector& row) const {
+    const auto e_text = text_model_->Embed(
+        text_encoder_.Encode(MaskRow(row, text_features_, arity_)));
+    const auto e_image = image_model_->Embed(
+        image_encoder_.Encode(MaskRow(row, image_features_, arity_)));
+    return ConcatEmbeddings(e_text, e_image);
+  }
+
+  const char* method_name() const override { return "intermediate_fusion"; }
+
+ private:
+  FeatureEncoder text_encoder_;
+  ModelPtr text_model_;
+  FeatureEncoder image_encoder_;
+  ModelPtr image_model_;
+  ModelPtr head_;
+  std::vector<FeatureId> text_features_;
+  std::vector<FeatureId> image_features_;
+  size_t arity_;
+};
+
+/// Trains one modality's first-stage model.
+Result<std::pair<FeatureEncoder, ModelPtr>> TrainModalityModel(
+    const FusionInput& input, Modality modality, const ModelSpec& spec) {
+  CM_ASSIGN_OR_RETURN(
+      MaskedRows rows,
+      CollectRows(input, &modality, /*per_modality_mask=*/true,
+                  /*fixed_mask=*/{}));
+  if (rows.rows.empty()) {
+    return Status::FailedPrecondition(
+        std::string("no training points of modality ") +
+        ModalityName(modality));
+  }
+  EncoderOptions enc_options;
+  enc_options.features = modality == Modality::kText ? input.text_features
+                                                     : input.image_features;
+  CM_ASSIGN_OR_RETURN(FeatureEncoder encoder,
+                      FeatureEncoder::Fit(input.store->schema(), rows.ptrs,
+                                          std::move(enc_options)));
+  const Dataset data = BuildDataset(rows, encoder);
+  CM_ASSIGN_OR_RETURN(ModelPtr model, TrainModel(data, spec));
+  return std::make_pair(std::move(encoder), std::move(model));
+}
+
+}  // namespace
+
+Result<CrossModalModelPtr> TrainIntermediateFusion(const FusionInput& input,
+                                                   const ModelSpec& spec) {
+  if (input.points.empty()) {
+    return Status::InvalidArgument("no training points");
+  }
+  // ---- Stage 1: independent per-modality models. -----------------------
+  CM_ASSIGN_OR_RETURN(auto text_parts,
+                      TrainModalityModel(input, Modality::kText, spec));
+  CM_ASSIGN_OR_RETURN(auto image_parts,
+                      TrainModalityModel(input, Modality::kImage, spec));
+  auto& [text_encoder, text_model] = text_parts;
+  auto& [image_encoder, image_model] = image_parts;
+
+  // ---- Stage 2: second pass over all data; concatenated embeddings feed
+  // the head model.
+  const size_t arity = input.store->schema().size();
+  Dataset head_data;
+  head_data.dim = text_model->embed_dim() + image_model->embed_dim();
+  for (const TrainPoint& p : input.points) {
+    CM_ASSIGN_OR_RETURN(const FeatureVector* row, input.store->Get(p.id));
+    const auto e_text = text_model->Embed(
+        text_encoder.Encode(MaskRow(*row, input.text_features, arity)));
+    const auto e_image = image_model->Embed(
+        image_encoder.Encode(MaskRow(*row, input.image_features, arity)));
+    Example ex;
+    ex.x = ConcatEmbeddings(e_text, e_image);
+    ex.target = p.target;
+    ex.weight = p.weight;
+    head_data.examples.push_back(std::move(ex));
+  }
+  ModelSpec head_spec = spec;
+  head_spec.hidden = {16};  // small head over the concatenated embedding
+  CM_ASSIGN_OR_RETURN(ModelPtr head, TrainModel(head_data, head_spec));
+
+  return CrossModalModelPtr(std::make_unique<IntermediateFusionModel>(
+      std::move(text_encoder), std::move(text_model), std::move(image_encoder),
+      std::move(image_model), std::move(head), input.text_features,
+      input.image_features, arity));
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,38 @@
+// Internal helpers shared by the fusion trainers.
+
+#ifndef CROSSMODAL_FUSION_INTERNAL_H_
+#define CROSSMODAL_FUSION_INTERNAL_H_
+
+#include <vector>
+
+#include "fusion/fusion.h"
+#include "ml/encoder.h"
+
+namespace crossmodal {
+namespace fusion_internal {
+
+/// Owned masked feature rows plus the pointer view encoders consume.
+struct MaskedRows {
+  std::vector<FeatureVector> rows;
+  std::vector<const FeatureVector*> ptrs;
+  std::vector<const TrainPoint*> points;
+};
+
+/// Collects rows for the selected points (all modalities when `modality` is
+/// nullptr), masking each row to the features its own modality may see when
+/// `per_modality_mask` is true, or to `fixed_mask` otherwise.
+Result<MaskedRows> CollectRows(const FusionInput& input,
+                               const Modality* modality,
+                               bool per_modality_mask,
+                               const std::vector<FeatureId>& fixed_mask);
+
+/// Builds an encoded dataset from masked rows.
+Dataset BuildDataset(const MaskedRows& rows, const FeatureEncoder& encoder);
+
+/// Union of the text and image feature lists, order-preserving.
+std::vector<FeatureId> UnionFeatures(const FusionInput& input);
+
+}  // namespace fusion_internal
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_FUSION_INTERNAL_H_

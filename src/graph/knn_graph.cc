@@ -1,0 +1,139 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+size_t SimilarityGraph::num_edges() const {
+  size_t total = 0;
+  for (const auto& nbrs : adjacency) total += nbrs.size();
+  return total / 2;
+}
+
+double SimilarityGraph::AverageDegree() const {
+  if (nodes.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(nodes.size());
+}
+
+Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
+                                      const FeatureStore& store,
+                                      const FeatureSimilarity& similarity,
+                                      const KnnGraphOptions& options) {
+  const size_t n = entities.size();
+  SimilarityGraph graph;
+  graph.nodes = entities;
+  graph.adjacency.assign(n, {});
+  if (n == 0) return graph;
+
+  std::vector<const FeatureVector*> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    CM_ASSIGN_OR_RETURN(rows[i], store.Get(entities[i]));
+  }
+
+  // ---- Blocking pass: inverted index over categorical items. ----------
+  // Item key packs (feature id, category) into one 64-bit key.
+  auto item_key = [](FeatureId f, int32_t c) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(f)) << 32) |
+           static_cast<uint32_t>(c);
+  };
+  std::unordered_map<uint64_t, std::vector<uint32_t>> postings;
+  for (size_t i = 0; i < n; ++i) {
+    for (FeatureId f : similarity.features()) {
+      const FeatureValue& v = rows[i]->Get(f);
+      if (v.is_missing() || v.type() != FeatureType::kCategorical) continue;
+      for (int32_t c : v.categories()) {
+        postings[item_key(f, c)].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  const size_t stop_threshold = std::max<size_t>(
+      8, static_cast<size_t>(options.stop_item_fraction * n));
+
+  Rng rng(options.seed);
+  std::vector<uint32_t> shared_count(n, 0);
+  std::vector<uint32_t> touched;
+  // Top-k edge selection per node.
+  std::vector<std::vector<std::pair<float, uint32_t>>> best(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    // Score candidates by number of shared items.
+    touched.clear();
+    for (FeatureId f : similarity.features()) {
+      const FeatureValue& v = rows[i]->Get(f);
+      if (v.is_missing() || v.type() != FeatureType::kCategorical) continue;
+      for (int32_t c : v.categories()) {
+        const auto& list = postings[item_key(f, c)];
+        if (list.size() > stop_threshold) continue;  // stop-item
+        for (uint32_t j : list) {
+          if (j == i) continue;
+          if (shared_count[j] == 0) touched.push_back(j);
+          ++shared_count[j];
+        }
+      }
+    }
+    // Keep the most-overlapping candidates plus random ones.
+    std::vector<uint32_t> candidates = touched;
+    if (candidates.size() > options.max_candidates) {
+      std::nth_element(candidates.begin(),
+                       candidates.begin() +
+                           static_cast<std::ptrdiff_t>(options.max_candidates),
+                       candidates.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return shared_count[a] > shared_count[b];
+                       });
+      candidates.resize(options.max_candidates);
+    }
+    for (uint32_t j : touched) shared_count[j] = 0;  // reset scratch
+    for (size_t r = 0; r < options.random_candidates && n > 1; ++r) {
+      const uint32_t j = static_cast<uint32_t>(rng.UniformInt(n));
+      if (j != i) candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // Exact Algorithm-1 weights; keep top-k above the floor.
+    auto& heap = best[i];
+    for (uint32_t j : candidates) {
+      const double w = similarity.Weight(*rows[i], *rows[j]);
+      if (w < options.min_weight) continue;
+      heap.emplace_back(static_cast<float>(w), j);
+    }
+    const size_t k = static_cast<size_t>(options.k);
+    if (heap.size() > k) {
+      std::nth_element(heap.begin(),
+                       heap.begin() + static_cast<std::ptrdiff_t>(k),
+                       heap.end(), std::greater<>());
+      heap.resize(k);
+    }
+  }
+
+  // Symmetrize: union of both directions.
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [w, j] : best[i]) {
+      graph.adjacency[i].emplace_back(j, w);
+      graph.adjacency[j].emplace_back(static_cast<uint32_t>(i), w);
+    }
+  }
+  for (auto& nbrs : graph.adjacency) {
+    std::sort(nbrs.begin(), nbrs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Deduplicate (keep the max weight per neighbor).
+    std::vector<std::pair<uint32_t, float>> dedup;
+    for (const auto& e : nbrs) {
+      if (!dedup.empty() && dedup.back().first == e.first) {
+        dedup.back().second = std::max(dedup.back().second, e.second);
+      } else {
+        dedup.push_back(e);
+      }
+    }
+    nbrs = std::move(dedup);
+  }
+  return graph;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,86 @@
+#include "graph/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  CM_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0) return 0.0;
+  return dot / denom;
+}
+
+FeatureSimilarity::FeatureSimilarity(const FeatureSchema* schema,
+                                     std::vector<FeatureId> features)
+    : schema_(schema), features_(std::move(features)) {
+  CM_CHECK(schema_ != nullptr);
+  numeric_scale_.assign(features_.size(), 1.0);
+}
+
+void FeatureSimilarity::FitNormalization(
+    const std::vector<const FeatureVector*>& rows) {
+  for (size_t idx = 0; idx < features_.size(); ++idx) {
+    const FeatureId f = features_[idx];
+    if (schema_->def(f).type != FeatureType::kNumeric) continue;
+    double sum = 0.0, sum_sq = 0.0;
+    size_t count = 0;
+    for (const auto* row : rows) {
+      const FeatureValue& v = row->Get(f);
+      if (v.is_missing() || v.type() != FeatureType::kNumeric) continue;
+      sum += v.numeric();
+      sum_sq += v.numeric() * v.numeric();
+      ++count;
+    }
+    if (count >= 2) {
+      const double mean = sum / count;
+      const double var = std::max(0.0, sum_sq / count - mean * mean);
+      numeric_scale_[idx] = std::max(1e-6, std::sqrt(var));
+    }
+  }
+}
+
+double FeatureSimilarity::Weight(const FeatureVector& a,
+                                 const FeatureVector& b) const {
+  double total = 0.0;
+  size_t present = 0;
+  for (size_t idx = 0; idx < features_.size(); ++idx) {
+    const FeatureId f = features_[idx];
+    const FeatureValue& va = a.Get(f);
+    const FeatureValue& vb = b.Get(f);
+    if (va.is_missing() || vb.is_missing()) continue;
+    if (va.type() != vb.type()) continue;
+    double sim = 0.0;
+    switch (va.type()) {
+      case FeatureType::kCategorical:
+        sim = FeatureValue::Jaccard(va, vb);
+        break;
+      case FeatureType::kNumeric: {
+        const double d =
+            std::abs(va.numeric() - vb.numeric()) / numeric_scale_[idx];
+        sim = std::exp(-d);
+        break;
+      }
+      case FeatureType::kEmbedding: {
+        if (va.embedding().size() != vb.embedding().size()) continue;
+        sim = 0.5 * (1.0 + CosineSimilarity(va.embedding(), vb.embedding()));
+        break;
+      }
+    }
+    total += sim;
+    ++present;
+  }
+  return present == 0 ? 0.0 : total / static_cast<double>(present);
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,50 @@
+// Pairwise entity similarity from the common feature space (Algorithm 1).
+//
+// The paper's Algorithm 1 accumulates per-feature contributions — a norm for
+// numeric features, Jaccard for categorical — normalized per feature (the
+// normalization the paper notes it omits "for simplicity" in the listing).
+// We implement the normalized form: each feature contributes a similarity in
+// [0, 1] (categorical: Jaccard; numeric: exp(-|delta|/scale); embedding:
+// rescaled cosine), and the edge weight is the mean over features present in
+// both points.
+
+#ifndef CROSSMODAL_GRAPH_SIMILARITY_H_
+#define CROSSMODAL_GRAPH_SIMILARITY_H_
+
+#include <vector>
+
+#include "features/feature_schema.h"
+#include "features/feature_vector.h"
+
+namespace crossmodal {
+
+/// Computes Algorithm-1 edge weights over a chosen feature subset.
+class FeatureSimilarity {
+ public:
+  /// Uses features `features` of `schema` for the weight computation.
+  FeatureSimilarity(const FeatureSchema* schema,
+                    std::vector<FeatureId> features);
+
+  /// Estimates per-numeric-feature scales (robust std) from sample rows so
+  /// numeric distances are comparable across features. Must be called before
+  /// Weight() if any numeric feature is used; no-op otherwise.
+  void FitNormalization(const std::vector<const FeatureVector*>& rows);
+
+  /// Edge weight w_ij in [0, 1]; 0 when no feature is present in both rows.
+  double Weight(const FeatureVector& a, const FeatureVector& b) const;
+
+  const std::vector<FeatureId>& features() const { return features_; }
+
+ private:
+  const FeatureSchema* schema_;
+  std::vector<FeatureId> features_;
+  std::vector<double> numeric_scale_;  // parallel to features_; 1.0 default
+};
+
+/// Cosine similarity of two equal-length float vectors, in [-1, 1].
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_GRAPH_SIMILARITY_H_

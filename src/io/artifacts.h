@@ -1,0 +1,60 @@
+// Artifact persistence: serialize/deserialize the pipeline's handoff
+// artifacts so the split-architecture steps can run as separate processes
+// (the production deployment mode, §2.3/§2.4: each role hands its output to
+// the next via storage, not memory).
+//
+// Formats are line-oriented TSV with typed value encodings:
+//   FeatureValue: "-" (missing) | "N:<double>" | "C:a|b|c" | "E:x|y|z".
+
+#ifndef CROSSMODAL_IO_ARTIFACTS_H_
+#define CROSSMODAL_IO_ARTIFACTS_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "labeling/label_model.h"
+#include "ml/metrics.h"
+#include "synth/entity.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Encodes one feature value ("-", "N:…", "C:…", "E:…").
+std::string EncodeFeatureValue(const FeatureValue& value);
+
+/// Inverse of EncodeFeatureValue; fails on malformed input.
+Result<FeatureValue> DecodeFeatureValue(const std::string& text);
+
+/// Writes a schema as TSV: name, type, set, cardinality, modalities,
+/// servable — one feature per line, with a header.
+Status WriteSchemaTsv(const FeatureSchema& schema, const std::string& path);
+
+/// Reads a schema written by WriteSchemaTsv.
+Result<FeatureSchema> ReadSchemaTsv(const std::string& path);
+
+/// Writes a feature store as TSV: entity id + one encoded value per
+/// feature, columns in schema order, with a header naming the features.
+Status WriteFeatureStoreTsv(const FeatureStore& store,
+                            const std::string& path);
+
+/// Reads rows written by WriteFeatureStoreTsv into a store over `schema`
+/// (which must match the file's column names).
+Result<FeatureStore> ReadFeatureStoreTsv(const FeatureSchema* schema,
+                                         const std::string& path);
+
+/// Writes probabilistic labels as TSV: entity, p_positive, covered.
+Status WriteWeakLabelsTsv(const std::vector<ProbabilisticLabel>& labels,
+                          const std::string& path);
+
+/// Reads labels written by WriteWeakLabelsTsv.
+Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
+    const std::string& path);
+
+/// Writes a PR curve as CSV (threshold, precision, recall).
+Status WritePrCurveCsv(const std::vector<PrPoint>& curve,
+                       const std::string& path);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_IO_ARTIFACTS_H_

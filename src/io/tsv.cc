@@ -1,0 +1,103 @@
+#include "io/tsv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crossmodal {
+
+std::string TsvEscape(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string TsvUnescape(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\' || i + 1 >= field.size()) {
+      out += field[i];
+      continue;
+    }
+    ++i;
+    switch (field[i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      default:  // Unknown escape: keep both characters.
+        out += '\\';
+        out += field[i];
+    }
+  }
+  return out;
+}
+
+std::string TsvJoin(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += TsvEscape(fields[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> TsvSplit(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      out.push_back(TsvUnescape(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(TsvUnescape(current));
+  return out;
+}
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (const auto& line : lines) out << line << '\n';
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace crossmodal

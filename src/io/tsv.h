@@ -1,0 +1,34 @@
+// Minimal TSV reading/writing with field escaping.
+
+#ifndef CROSSMODAL_IO_TSV_H_
+#define CROSSMODAL_IO_TSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Escapes tabs, newlines, and backslashes ("\t", "\n", "\\").
+std::string TsvEscape(const std::string& field);
+
+/// Inverse of TsvEscape.
+std::string TsvUnescape(const std::string& field);
+
+/// Joins escaped fields with tabs.
+std::string TsvJoin(const std::vector<std::string>& fields);
+
+/// Splits one line into unescaped fields.
+std::vector<std::string> TsvSplit(const std::string& line);
+
+/// Writes lines (LF-terminated) to a file, replacing it.
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines);
+
+/// Reads all LF-separated lines from a file (no trailing empty line).
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_IO_TSV_H_

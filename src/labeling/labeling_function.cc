@@ -1,0 +1,84 @@
+#include "labeling/labeling_function.h"
+
+namespace crossmodal {
+
+CategoryLF::CategoryLF(std::string name, FeatureId feature, int32_t category,
+                       Vote polarity)
+    : name_(std::move(name)),
+      feature_(feature),
+      category_(category),
+      polarity_(polarity) {}
+
+Vote CategoryLF::Apply(EntityId /*id*/, const FeatureVector& row) const {
+  return row.Get(feature_).HasCategory(category_) ? polarity_
+                                                  : Vote::kAbstain;
+}
+
+ConjunctionLF::ConjunctionLF(std::string name,
+                             std::vector<CategoryPredicate> conjuncts,
+                             Vote polarity)
+    : name_(std::move(name)),
+      conjuncts_(std::move(conjuncts)),
+      polarity_(polarity) {}
+
+Vote ConjunctionLF::Apply(EntityId /*id*/, const FeatureVector& row) const {
+  for (const auto& c : conjuncts_) {
+    if (!row.Get(c.feature).HasCategory(c.category)) return Vote::kAbstain;
+  }
+  return polarity_;
+}
+
+NumericThresholdLF::NumericThresholdLF(std::string name, FeatureId feature,
+                                       double threshold, bool above,
+                                       Vote polarity)
+    : name_(std::move(name)),
+      feature_(feature),
+      threshold_(threshold),
+      above_(above),
+      polarity_(polarity) {}
+
+Vote NumericThresholdLF::Apply(EntityId /*id*/,
+                               const FeatureVector& row) const {
+  const FeatureValue& v = row.Get(feature_);
+  if (v.is_missing() || v.type() != FeatureType::kNumeric) {
+    return Vote::kAbstain;
+  }
+  const bool hit = above_ ? v.numeric() >= threshold_
+                          : v.numeric() <= threshold_;
+  return hit ? polarity_ : Vote::kAbstain;
+}
+
+NumericRangeLF::NumericRangeLF(std::string name, FeatureId feature, double lo,
+                               double hi, Vote polarity)
+    : name_(std::move(name)),
+      feature_(feature),
+      lo_(lo),
+      hi_(hi),
+      polarity_(polarity) {}
+
+Vote NumericRangeLF::Apply(EntityId /*id*/, const FeatureVector& row) const {
+  const FeatureValue& v = row.Get(feature_);
+  if (v.is_missing() || v.type() != FeatureType::kNumeric) {
+    return Vote::kAbstain;
+  }
+  return (v.numeric() >= lo_ && v.numeric() < hi_) ? polarity_
+                                                   : Vote::kAbstain;
+}
+
+ScoreThresholdLF::ScoreThresholdLF(std::string name,
+                                   std::unordered_map<EntityId, double> scores,
+                                   double pos_threshold, double neg_threshold)
+    : name_(std::move(name)),
+      scores_(std::move(scores)),
+      pos_threshold_(pos_threshold),
+      neg_threshold_(neg_threshold) {}
+
+Vote ScoreThresholdLF::Apply(EntityId id, const FeatureVector& /*row*/) const {
+  auto it = scores_.find(id);
+  if (it == scores_.end()) return Vote::kAbstain;
+  if (it->second >= pos_threshold_) return Vote::kPositive;
+  if (it->second <= neg_threshold_) return Vote::kNegative;
+  return Vote::kAbstain;
+}
+
+}  // namespace crossmodal

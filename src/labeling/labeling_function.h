@@ -1,0 +1,168 @@
+// Labeling functions: programmatic weak-label sources (§4.1).
+//
+// An LF inspects an entity's row in the common feature space and votes
+// positive, negative, or abstains. LFs are offline artifacts — they may read
+// nonservable features (§6.4) because they only run during training-data
+// curation, never at serving time.
+
+#ifndef CROSSMODAL_LABELING_LABELING_FUNCTION_H_
+#define CROSSMODAL_LABELING_LABELING_FUNCTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "features/feature_vector.h"
+
+namespace crossmodal {
+
+/// An LF's vote on one data point.
+enum class Vote : int8_t {
+  kNegative = -1,
+  kAbstain = 0,
+  kPositive = 1,
+};
+
+/// A labeling function over the common feature space.
+class LabelingFunction {
+ public:
+  virtual ~LabelingFunction() = default;
+
+  /// Human-readable identifier (shown in quality reports).
+  virtual const std::string& name() const = 0;
+
+  /// Votes on one data point. `id` is provided so LFs backed by external
+  /// per-entity scores (e.g. label propagation, §4.4) can join on it.
+  virtual Vote Apply(EntityId id, const FeatureVector& row) const = 0;
+};
+
+using LabelingFunctionPtr = std::unique_ptr<LabelingFunction>;
+
+/// Votes `polarity` when categorical feature `feature` contains `category`;
+/// abstains otherwise (the canonical mined order-1 LF, §4.3).
+class CategoryLF : public LabelingFunction {
+ public:
+  CategoryLF(std::string name, FeatureId feature, int32_t category,
+             Vote polarity);
+
+  const std::string& name() const override { return name_; }
+  Vote Apply(EntityId id, const FeatureVector& row) const override;
+
+  FeatureId feature() const { return feature_; }
+  int32_t category() const { return category_; }
+  Vote polarity() const { return polarity_; }
+
+ private:
+  std::string name_;
+  FeatureId feature_;
+  int32_t category_;
+  Vote polarity_;
+};
+
+/// One conjunct of a conjunction LF: feature `feature` contains `category`.
+struct CategoryPredicate {
+  FeatureId feature;
+  int32_t category;
+};
+
+/// Votes `polarity` when every conjunct holds (higher-order mined LF).
+class ConjunctionLF : public LabelingFunction {
+ public:
+  ConjunctionLF(std::string name, std::vector<CategoryPredicate> conjuncts,
+                Vote polarity);
+
+  const std::string& name() const override { return name_; }
+  Vote Apply(EntityId id, const FeatureVector& row) const override;
+
+  const std::vector<CategoryPredicate>& conjuncts() const {
+    return conjuncts_;
+  }
+  Vote polarity() const { return polarity_; }
+
+ private:
+  std::string name_;
+  std::vector<CategoryPredicate> conjuncts_;
+  Vote polarity_;
+};
+
+/// Votes `polarity` when numeric feature `feature` is present and compares
+/// `>= threshold` (or `<=` when `above` is false); abstains otherwise.
+class NumericThresholdLF : public LabelingFunction {
+ public:
+  NumericThresholdLF(std::string name, FeatureId feature, double threshold,
+                     bool above, Vote polarity);
+
+  const std::string& name() const override { return name_; }
+  Vote Apply(EntityId id, const FeatureVector& row) const override;
+
+ private:
+  std::string name_;
+  FeatureId feature_;
+  double threshold_;
+  bool above_;
+  Vote polarity_;
+};
+
+/// Votes `polarity` when numeric feature `feature` is present and falls in
+/// [lo, hi); abstains otherwise (mined numeric-bucket LF).
+class NumericRangeLF : public LabelingFunction {
+ public:
+  NumericRangeLF(std::string name, FeatureId feature, double lo, double hi,
+                 Vote polarity);
+
+  const std::string& name() const override { return name_; }
+  Vote Apply(EntityId id, const FeatureVector& row) const override;
+
+ private:
+  std::string name_;
+  FeatureId feature_;
+  double lo_;
+  double hi_;
+  Vote polarity_;
+};
+
+/// LF backed by an external per-entity score (e.g. the label-propagation
+/// output): votes positive above `pos_threshold`, negative below
+/// `neg_threshold`, abstains in between or when the entity has no score.
+class ScoreThresholdLF : public LabelingFunction {
+ public:
+  ScoreThresholdLF(std::string name,
+                   std::unordered_map<EntityId, double> scores,
+                   double pos_threshold, double neg_threshold);
+
+  const std::string& name() const override { return name_; }
+  Vote Apply(EntityId id, const FeatureVector& row) const override;
+
+  size_t num_scores() const { return scores_.size(); }
+
+ private:
+  std::string name_;
+  std::unordered_map<EntityId, double> scores_;
+  double pos_threshold_;
+  double neg_threshold_;
+};
+
+/// Arbitrary user-written LF (the interface domain experts use, §6.7.1).
+class LambdaLF : public LabelingFunction {
+ public:
+  using Fn = std::function<Vote(EntityId, const FeatureVector&)>;
+
+  LambdaLF(std::string name, Fn fn) : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return name_; }
+  Vote Apply(EntityId id, const FeatureVector& row) const override {
+    return fn_(id, row);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_LABELING_LABELING_FUNCTION_H_

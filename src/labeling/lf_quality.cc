@@ -1,0 +1,85 @@
+#include "labeling/lf_quality.h"
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+namespace {
+double SafeDiv(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+double F1(double p, double r) { return SafeDiv(2.0 * p * r, p + r); }
+}  // namespace
+
+std::vector<LFQuality> EvaluateLFs(const LabelMatrix& matrix,
+                                   const std::vector<int>& labels) {
+  CM_CHECK(labels.size() == matrix.num_rows());
+  std::vector<LFQuality> out(matrix.num_lfs());
+  size_t n_pos = 0, n_neg = 0;
+  for (int y : labels) (y == 1 ? n_pos : n_neg)++;
+
+  for (size_t j = 0; j < matrix.num_lfs(); ++j) {
+    LFQuality& q = out[j];
+    q.name = matrix.lf_name(j);
+    size_t votes = 0, correct = 0, pos_votes = 0, neg_votes = 0;
+    size_t true_hits_pos = 0, true_hits_neg = 0;
+    for (size_t i = 0; i < matrix.num_rows(); ++i) {
+      const Vote v = matrix.at(i, j);
+      if (v == Vote::kAbstain) continue;
+      ++votes;
+      const int y = labels[i];
+      if (v == Vote::kPositive) {
+        ++pos_votes;
+        if (y == 1) {
+          ++correct;
+          ++true_hits_pos;
+        }
+      } else {
+        ++neg_votes;
+        if (y == 0) {
+          ++correct;
+          ++true_hits_neg;
+        }
+      }
+    }
+    q.coverage = SafeDiv(static_cast<double>(votes),
+                         static_cast<double>(matrix.num_rows()));
+    if (votes == 0) continue;
+    q.polarity = pos_votes >= neg_votes ? 1 : -1;
+    q.precision = SafeDiv(static_cast<double>(correct),
+                          static_cast<double>(votes));
+    // Recall of the dominant polarity's class.
+    q.recall = q.polarity == 1
+                   ? SafeDiv(static_cast<double>(true_hits_pos),
+                             static_cast<double>(n_pos))
+                   : SafeDiv(static_cast<double>(true_hits_neg),
+                             static_cast<double>(n_neg));
+    q.f1 = F1(q.precision, q.recall);
+  }
+  return out;
+}
+
+BinaryQuality EvaluateProbabilisticLabels(
+    const std::vector<ProbabilisticLabel>& labels,
+    const std::vector<int>& truth, double threshold) {
+  CM_CHECK(labels.size() == truth.size());
+  BinaryQuality q;
+  size_t tp = 0, fp = 0, fn = 0, tn = 0, covered = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool pred = labels[i].covered && labels[i].p_positive >= threshold;
+    if (labels[i].covered) ++covered;
+    const bool pos = truth[i] == 1;
+    if (pred && pos) ++tp;
+    if (pred && !pos) ++fp;
+    if (!pred && pos) ++fn;
+    if (!pred && !pos) ++tn;
+  }
+  q.coverage = SafeDiv(static_cast<double>(covered),
+                       static_cast<double>(labels.size()));
+  q.precision = SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fp));
+  q.recall = SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fn));
+  q.f1 = F1(q.precision, q.recall);
+  q.accuracy = SafeDiv(static_cast<double>(tp + tn),
+                       static_cast<double>(labels.size()));
+  return q;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,49 @@
+// LF and label-model quality evaluation against labeled data (the paper's
+// development-set workflow, §4.2, and the Table 3 / §6.7 metrics).
+
+#ifndef CROSSMODAL_LABELING_LF_QUALITY_H_
+#define CROSSMODAL_LABELING_LF_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "labeling/label_matrix.h"
+#include "labeling/label_model.h"
+
+namespace crossmodal {
+
+/// Quality of one LF measured on labeled data.
+struct LFQuality {
+  std::string name;
+  double coverage = 0.0;   ///< Fraction of points it votes on.
+  double precision = 0.0;  ///< P(vote correct | vote cast).
+  double recall = 0.0;     ///< Of its polarity class: fraction it catches.
+  double f1 = 0.0;
+  int polarity = 0;  ///< +1 / -1 dominant polarity, 0 if it never votes.
+};
+
+/// Precision/recall/F1 of hard decisions against binary ground truth.
+struct BinaryQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double coverage = 0.0;  ///< Fraction of points given a (non-prior) label.
+  double accuracy = 0.0;
+};
+
+/// Evaluates each LF column of `matrix` against ground truth (`labels[i]`
+/// in {0,1} for row i).
+std::vector<LFQuality> EvaluateLFs(const LabelMatrix& matrix,
+                                   const std::vector<int>& labels);
+
+/// Evaluates probabilistic labels thresholded at `threshold`. Positive
+/// predictions are p >= threshold among covered points; uncovered points
+/// count as negative predictions (they are not added to training
+/// positives). Recall is measured over all true positives.
+BinaryQuality EvaluateProbabilisticLabels(
+    const std::vector<ProbabilisticLabel>& labels,
+    const std::vector<int>& truth, double threshold = 0.5);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_LABELING_LF_QUALITY_H_

@@ -1,0 +1,252 @@
+#include "labeling/multiclass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+MulticlassLF MulticlassLF::FromCategoryMap(
+    std::string name, FeatureId feature,
+    std::vector<int32_t> category_to_class) {
+  return MulticlassLF(
+      std::move(name),
+      [feature, table = std::move(category_to_class)](
+          EntityId, const FeatureVector& row) -> int32_t {
+        const FeatureValue& v = row.Get(feature);
+        if (v.is_missing() || v.type() != FeatureType::kCategorical) {
+          return kAbstainClass;
+        }
+        for (int32_t c : v.categories()) {
+          if (c >= 0 && static_cast<size_t>(c) < table.size() &&
+              table[static_cast<size_t>(c)] != kAbstainClass) {
+            return table[static_cast<size_t>(c)];
+          }
+        }
+        return kAbstainClass;
+      });
+}
+
+MulticlassLabelMatrix::MulticlassLabelMatrix(
+    std::vector<EntityId> entities, std::vector<std::string> lf_names,
+    int32_t num_classes)
+    : entities_(std::move(entities)),
+      lf_names_(std::move(lf_names)),
+      num_classes_(num_classes) {
+  CM_CHECK(num_classes_ >= 2);
+  votes_.assign(entities_.size() * lf_names_.size(), kAbstainClass);
+}
+
+int32_t MulticlassLabelMatrix::at(size_t row, size_t lf) const {
+  CM_CHECK(row < num_rows() && lf < num_lfs());
+  return votes_[row * num_lfs() + lf];
+}
+
+void MulticlassLabelMatrix::set(size_t row, size_t lf, int32_t vote) {
+  CM_CHECK(row < num_rows() && lf < num_lfs());
+  CM_CHECK(vote >= kAbstainClass && vote < num_classes_)
+      << "vote out of range: " << vote;
+  votes_[row * num_lfs() + lf] = vote;
+}
+
+double MulticlassLabelMatrix::Coverage(size_t lf) const {
+  if (num_rows() == 0) return 0.0;
+  size_t covered = 0;
+  for (size_t i = 0; i < num_rows(); ++i) {
+    covered += (at(i, lf) != kAbstainClass);
+  }
+  return static_cast<double>(covered) / static_cast<double>(num_rows());
+}
+
+MulticlassLabelMatrix ApplyMulticlassLFs(
+    const std::vector<MulticlassLF>& lfs,
+    const std::vector<EntityId>& entities, const FeatureStore& store,
+    int32_t num_classes) {
+  std::vector<std::string> names;
+  names.reserve(lfs.size());
+  for (const auto& lf : lfs) names.push_back(lf.name());
+  MulticlassLabelMatrix matrix(entities, std::move(names), num_classes);
+  const FeatureVector empty(store.schema().size());
+  for (size_t i = 0; i < entities.size(); ++i) {
+    auto row = store.Get(entities[i]);
+    const FeatureVector& features = row.ok() ? **row : empty;
+    for (size_t j = 0; j < lfs.size(); ++j) {
+      int32_t vote = lfs[j].Apply(entities[i], features);
+      if (vote < kAbstainClass || vote >= num_classes) vote = kAbstainClass;
+      matrix.set(i, j, vote);
+    }
+  }
+  return matrix;
+}
+
+int32_t MulticlassLabel::Top() const {
+  if (p.empty()) return kAbstainClass;
+  return static_cast<int32_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double MulticlassLabelModel::Theta(size_t j, int32_t y, int32_t v) const {
+  const size_t K = static_cast<size_t>(num_classes_);
+  return theta_[(j * K + static_cast<size_t>(y)) * (K + 1) +
+                static_cast<size_t>(v + 1)];
+}
+
+std::vector<double> MulticlassLabelModel::RowPosterior(
+    const MulticlassLabelMatrix& matrix, size_t row) const {
+  const int32_t K = num_classes_;
+  std::vector<double> log_p(static_cast<size_t>(K));
+  for (int32_t y = 0; y < K; ++y) {
+    double lp = std::log(prior_[static_cast<size_t>(y)]);
+    for (size_t j = 0; j < num_lfs_; ++j) {
+      lp += std::log(Theta(j, y, matrix.at(row, j)));
+    }
+    log_p[static_cast<size_t>(y)] = lp;
+  }
+  const double m = *std::max_element(log_p.begin(), log_p.end());
+  double total = 0.0;
+  for (double& v : log_p) {
+    v = std::exp(v - m);
+    total += v;
+  }
+  for (double& v : log_p) v /= total;
+  return log_p;
+}
+
+Result<MulticlassLabelModel> MulticlassLabelModel::Fit(
+    const MulticlassLabelMatrix& matrix,
+    const MulticlassModelOptions& options) {
+  const size_t n = matrix.num_rows();
+  const size_t m = matrix.num_lfs();
+  const int32_t K = matrix.num_classes();
+  if (m == 0) return Status::InvalidArgument("matrix has no LFs");
+  if (n == 0) return Status::InvalidArgument("matrix has no rows");
+  if (!options.class_balance.empty() &&
+      options.class_balance.size() != static_cast<size_t>(K)) {
+    return Status::InvalidArgument("class balance arity mismatch");
+  }
+
+  MulticlassLabelModel model;
+  model.num_lfs_ = m;
+  model.num_classes_ = K;
+  model.prior_.assign(static_cast<size_t>(K), 1.0 / K);
+  if (!options.class_balance.empty()) {
+    double total = 0.0;
+    for (double p : options.class_balance) total += p;
+    if (total <= 0.0) return Status::InvalidArgument("bad class balance");
+    for (int32_t y = 0; y < K; ++y) {
+      model.prior_[static_cast<size_t>(y)] =
+          options.class_balance[static_cast<size_t>(y)] / total;
+    }
+  }
+
+  // ---- Initialization: a vote for class v has precision prec toward v
+  // (lift over the prior), spread uniformly over the other classes. -------
+  model.theta_.assign(m * static_cast<size_t>(K) * (K + 1), 0.0);
+  const size_t stride = static_cast<size_t>(K + 1);
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<double> rate(static_cast<size_t>(K + 1), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      rate[static_cast<size_t>(matrix.at(i, j) + 1)] += 1.0;
+    }
+    for (double& r : rate) r /= static_cast<double>(n);
+    for (int32_t y = 0; y < K; ++y) {
+      double* row =
+          &model.theta_[(j * static_cast<size_t>(K) +
+                         static_cast<size_t>(y)) * stride];
+      double assigned = 0.0;
+      for (int32_t v = 0; v < K; ++v) {
+        const double pi_v = model.prior_[static_cast<size_t>(v)];
+        const double prec = pi_v + options.init_precision * (1.0 - pi_v);
+        const double share = v == y ? prec : (1.0 - prec) / (K - 1);
+        const double pv = std::clamp(
+            rate[static_cast<size_t>(v + 1)] * share /
+                std::max(model.prior_[static_cast<size_t>(y)], 1e-3),
+            1e-4, 0.9);
+        row[static_cast<size_t>(v + 1)] = pv;
+        assigned += pv;
+      }
+      row[0] = std::max(1e-4, 1.0 - assigned);  // abstain mass
+      // Normalize.
+      double total = 0.0;
+      for (size_t v = 0; v < stride; ++v) total += row[v];
+      for (size_t v = 0; v < stride; ++v) row[v] /= total;
+    }
+  }
+  const std::vector<double> theta_init = model.theta_;
+  const double anchor =
+      std::max(0.0, options.prior_anchor) * static_cast<double>(n);
+
+  std::vector<std::vector<double>> posterior(
+      n, std::vector<double>(static_cast<size_t>(K), 1.0 / K));
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations_ = iter + 1;
+    // E-step.
+    for (size_t i = 0; i < n; ++i) posterior[i] = model.RowPosterior(matrix, i);
+    // M-step.
+    double max_delta = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      for (int32_t y = 0; y < K; ++y) {
+        std::vector<double> counts(stride, options.smoothing);
+        for (size_t v = 0; v < stride; ++v) {
+          counts[v] += anchor * model.prior_[static_cast<size_t>(y)] *
+                       theta_init[(j * static_cast<size_t>(K) +
+                                   static_cast<size_t>(y)) * stride + v];
+        }
+        for (size_t i = 0; i < n; ++i) {
+          counts[static_cast<size_t>(matrix.at(i, j) + 1)] +=
+              posterior[i][static_cast<size_t>(y)];
+        }
+        double total = 0.0;
+        for (double c : counts) total += c;
+        double* row = &model.theta_[(j * static_cast<size_t>(K) +
+                                     static_cast<size_t>(y)) * stride];
+        for (size_t v = 0; v < stride; ++v) {
+          const double next = counts[v] / total;
+          max_delta = std::max(max_delta, std::abs(next - row[v]));
+          row[v] = next;
+        }
+      }
+    }
+    if (max_delta < options.tolerance) break;
+  }
+  return model;
+}
+
+std::vector<MulticlassLabel> MulticlassLabelModel::Predict(
+    const MulticlassLabelMatrix& matrix) const {
+  CM_CHECK(matrix.num_lfs() == num_lfs_ &&
+           matrix.num_classes() == num_classes_);
+  std::vector<MulticlassLabel> out(matrix.num_rows());
+  for (size_t i = 0; i < matrix.num_rows(); ++i) {
+    out[i].entity = matrix.entity(i);
+    out[i].covered = false;
+    for (size_t j = 0; j < num_lfs_; ++j) {
+      if (matrix.at(i, j) != kAbstainClass) {
+        out[i].covered = true;
+        break;
+      }
+    }
+    out[i].p = out[i].covered ? RowPosterior(matrix, i) : prior_;
+  }
+  return out;
+}
+
+std::vector<double> MulticlassLabelModel::accuracies() const {
+  std::vector<double> out(num_lfs_);
+  for (size_t j = 0; j < num_lfs_; ++j) {
+    double agree = 0.0, vote = 0.0;
+    for (int32_t y = 0; y < num_classes_; ++y) {
+      const double pi = prior_[static_cast<size_t>(y)];
+      for (int32_t v = 0; v < num_classes_; ++v) {
+        const double p = pi * Theta(j, y, v);
+        vote += p;
+        if (v == y) agree += p;
+      }
+    }
+    out[j] = vote > 0.0 ? agree / vote : 1.0 / num_classes_;
+  }
+  return out;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,288 @@
+#include "mining/itemset_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace crossmodal {
+
+namespace {
+
+double SafeDiv(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+double F1(double p, double r) { return SafeDiv(2.0 * p * r, p + r); }
+
+std::string ItemsetName(const FeatureSchema& schema, const MinedItemset& it) {
+  std::ostringstream ss;
+  ss << (it.polarity == Vote::kPositive ? "mine_pos[" : "mine_neg[");
+  ss << schema.def(it.feature).name;
+  if (!it.categories.empty()) {
+    ss << "=";
+    for (size_t i = 0; i < it.categories.size(); ++i) {
+      if (i > 0) ss << "&";
+      ss << it.categories[i];
+    }
+  } else {
+    ss << " in [" << it.lo << "," << it.hi << ")";
+  }
+  ss << "]";
+  return ss.str();
+}
+
+/// Counts of one item in positive and negative examples.
+struct ItemCounts {
+  size_t pos = 0;
+  size_t neg = 0;
+};
+
+}  // namespace
+
+ItemsetMiner::ItemsetMiner(const FeatureSchema* schema, MiningOptions options)
+    : schema_(schema), options_(std::move(options)) {
+  CM_CHECK(schema_ != nullptr);
+}
+
+Result<MiningResult> ItemsetMiner::MineLFs(
+    const std::vector<const FeatureVector*>& rows,
+    const std::vector<int>& labels) const {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows and labels must align");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("development set is empty");
+  }
+  size_t n_pos = 0, n_neg = 0;
+  for (int y : labels) (y == 1 ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) {
+    return Status::FailedPrecondition(
+        "development set must contain both classes");
+  }
+
+  Timer timer;
+  MiningResult result;
+  std::vector<MinedItemset> accepted_pos, accepted_neg;
+
+  std::vector<FeatureId> features = options_.allowed_features.empty()
+                                        ? schema_->AllIds()
+                                        : options_.allowed_features;
+
+  auto eval_pos = [&](size_t pos, size_t neg) {
+    MinedItemset it;
+    it.precision = SafeDiv(static_cast<double>(pos),
+                           static_cast<double>(pos + neg));
+    it.recall = SafeDiv(static_cast<double>(pos), static_cast<double>(n_pos));
+    it.f1 = F1(it.precision, it.recall);
+    it.polarity = Vote::kPositive;
+    return it;
+  };
+  auto eval_neg = [&](size_t pos, size_t neg) {
+    MinedItemset it;
+    it.precision = SafeDiv(static_cast<double>(neg),
+                           static_cast<double>(pos + neg));
+    it.recall = SafeDiv(static_cast<double>(neg), static_cast<double>(n_neg));
+    it.f1 = F1(it.precision, it.recall);
+    it.polarity = Vote::kNegative;
+    return it;
+  };
+
+  for (FeatureId f : features) {
+    const FeatureDef& def = schema_->def(f);
+    if (def.type == FeatureType::kCategorical) {
+      // ---- Order-1 items: single category values. ----------------------
+      std::map<int32_t, ItemCounts> counts;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const FeatureValue& v = rows[i]->Get(f);
+        if (v.is_missing() || v.type() != FeatureType::kCategorical) continue;
+        for (int32_t c : v.categories()) {
+          auto& cnt = counts[c];
+          (labels[i] == 1 ? cnt.pos : cnt.neg)++;
+        }
+      }
+      result.report.order1_candidates += counts.size();
+      std::vector<int32_t> frequent_in_pos;  // Apriori L1 for this feature.
+      for (const auto& [cat, cnt] : counts) {
+        // Positives-first: only items present in positives can seed
+        // positive LFs (difference-detection pruning).
+        if (cnt.pos > 0) {
+          MinedItemset it = eval_pos(cnt.pos, cnt.neg);
+          it.feature = f;
+          it.categories = {cat};
+          if (it.precision >= options_.min_precision_pos &&
+              it.recall >= options_.min_recall_pos) {
+            accepted_pos.push_back(std::move(it));
+          }
+          if (it.recall >= options_.min_recall_pos) {
+            frequent_in_pos.push_back(cat);
+          }
+        }
+        if (cnt.neg > 0) {
+          MinedItemset it = eval_neg(cnt.pos, cnt.neg);
+          it.feature = f;
+          it.categories = {cat};
+          if (it.precision >= options_.min_precision_neg &&
+              it.recall >= options_.min_recall_neg) {
+            accepted_neg.push_back(std::move(it));
+          }
+        }
+      }
+
+      // ---- Higher orders: conjunctions of category values within this
+      // feature, grown Apriori-style from the frequent order-1 items. ----
+      if (options_.max_order >= 2 && frequent_in_pos.size() >= 2) {
+        // Transactions restricted to frequent items, split by class.
+        std::vector<std::vector<int32_t>> tx;
+        std::vector<int> tx_label;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          const FeatureValue& v = rows[i]->Get(f);
+          if (v.is_missing() || v.type() != FeatureType::kCategorical) {
+            continue;
+          }
+          std::vector<int32_t> t;
+          for (int32_t c : v.categories()) {
+            if (std::binary_search(frequent_in_pos.begin(),
+                                   frequent_in_pos.end(), c)) {
+              t.push_back(c);
+            }
+          }
+          if (t.size() >= 2) {
+            tx.push_back(std::move(t));
+            tx_label.push_back(labels[i]);
+          }
+        }
+        std::vector<std::vector<int32_t>> level;  // current frequent sets
+        for (int32_t c : frequent_in_pos) level.push_back({c});
+        for (int order = 2;
+             order <= options_.max_order && !level.empty(); ++order) {
+          // Candidate generation: join sets sharing a (k-1)-prefix.
+          std::map<std::vector<int32_t>, ItemCounts> cand;
+          for (size_t a = 0; a < level.size(); ++a) {
+            for (size_t b = a + 1; b < level.size(); ++b) {
+              if (!std::equal(level[a].begin(), level[a].end() - 1,
+                              level[b].begin())) {
+                continue;
+              }
+              std::vector<int32_t> joined = level[a];
+              joined.push_back(level[b].back());
+              std::sort(joined.begin(), joined.end());
+              cand.emplace(std::move(joined), ItemCounts{});
+            }
+          }
+          result.report.higher_order_candidates += cand.size();
+          for (size_t i = 0; i < tx.size(); ++i) {
+            for (auto& [set, cnt] : cand) {
+              if (std::includes(tx[i].begin(), tx[i].end(), set.begin(),
+                                set.end())) {
+                (tx_label[i] == 1 ? cnt.pos : cnt.neg)++;
+              }
+            }
+          }
+          std::vector<std::vector<int32_t>> next_level;
+          for (auto& [set, cnt] : cand) {
+            MinedItemset it = eval_pos(cnt.pos, cnt.neg);
+            if (it.recall < options_.min_recall_pos) continue;
+            next_level.push_back(set);
+            it.feature = f;
+            it.categories = set;
+            if (it.precision >= options_.min_precision_pos) {
+              accepted_pos.push_back(std::move(it));
+            }
+          }
+          level = std::move(next_level);
+        }
+      }
+    } else if (def.type == FeatureType::kNumeric) {
+      // ---- Numeric items: quantile buckets. ---------------------------
+      std::vector<std::pair<double, int>> values;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const FeatureValue& v = rows[i]->Get(f);
+        if (v.is_missing() || v.type() != FeatureType::kNumeric) continue;
+        values.emplace_back(v.numeric(), labels[i]);
+      }
+      if (values.size() < 10) continue;
+      std::sort(values.begin(), values.end());
+      const int nb = std::max(2, options_.num_numeric_buckets);
+      std::vector<double> edges;
+      edges.push_back(-std::numeric_limits<double>::infinity());
+      for (int b = 1; b < nb; ++b) {
+        edges.push_back(values[values.size() * b / nb].first);
+      }
+      edges.push_back(std::numeric_limits<double>::infinity());
+      result.report.order1_candidates += static_cast<size_t>(nb);
+      for (int b = 0; b < nb; ++b) {
+        const double lo = edges[static_cast<size_t>(b)];
+        const double hi = edges[static_cast<size_t>(b) + 1];
+        if (lo >= hi) continue;  // degenerate bucket (tied quantiles)
+        size_t pos = 0, neg = 0;
+        for (const auto& [val, y] : values) {
+          if (val >= lo && val < hi) (y == 1 ? pos : neg)++;
+        }
+        MinedItemset it_pos = eval_pos(pos, neg);
+        if (it_pos.precision >= options_.min_precision_pos &&
+            it_pos.recall >= options_.min_recall_pos) {
+          it_pos.feature = f;
+          it_pos.lo = lo;
+          it_pos.hi = hi;
+          accepted_pos.push_back(std::move(it_pos));
+        }
+        MinedItemset it_neg = eval_neg(pos, neg);
+        if (it_neg.precision >= options_.min_precision_neg &&
+            it_neg.recall >= options_.min_recall_neg) {
+          it_neg.feature = f;
+          it_neg.lo = lo;
+          it_neg.hi = hi;
+          accepted_neg.push_back(std::move(it_neg));
+        }
+      }
+    }
+    // Embedding features carry no discrete items; they feed label
+    // propagation instead (§4.4).
+  }
+
+  auto keep_top = [&](std::vector<MinedItemset>* items) {
+    std::sort(items->begin(), items->end(),
+              [](const MinedItemset& a, const MinedItemset& b) {
+                return a.f1 > b.f1;
+              });
+    if (items->size() > options_.max_lfs_per_polarity) {
+      items->resize(options_.max_lfs_per_polarity);
+    }
+  };
+  keep_top(&accepted_pos);
+  keep_top(&accepted_neg);
+  result.report.accepted_positive = accepted_pos.size();
+  result.report.accepted_negative = accepted_neg.size();
+
+  auto emit = [&](std::vector<MinedItemset>& items) {
+    for (MinedItemset& it : items) {
+      const std::string name = ItemsetName(*schema_, it);
+      if (!it.categories.empty()) {
+        if (it.categories.size() == 1) {
+          result.lfs.push_back(std::make_unique<CategoryLF>(
+              name, it.feature, it.categories[0], it.polarity));
+        } else {
+          std::vector<CategoryPredicate> conjuncts;
+          for (int32_t c : it.categories) {
+            conjuncts.push_back(CategoryPredicate{it.feature, c});
+          }
+          result.lfs.push_back(std::make_unique<ConjunctionLF>(
+              name, std::move(conjuncts), it.polarity));
+        }
+      } else {
+        result.lfs.push_back(std::make_unique<NumericRangeLF>(
+            name, it.feature, it.lo, it.hi, it.polarity));
+      }
+      result.itemsets.push_back(std::move(it));
+    }
+  };
+  emit(accepted_pos);
+  emit(accepted_neg);
+
+  result.report.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace crossmodal

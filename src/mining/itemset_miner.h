@@ -1,0 +1,91 @@
+// Automatic LF generation by frequent itemset mining (§4.3).
+//
+// The miner mimics a domain expert: it finds feature values (and, at higher
+// orders, conjunctions of values *within a single feature*, as the paper
+// specifies to minimize LF correlation) that occur more frequently in
+// positive than negative dev-set examples, keeps those meeting precision and
+// recall thresholds, and emits them as labeling functions. Candidates are
+// mined positives-first (the difference-detection optimization for
+// class-imbalanced data). Numeric features are quantile-bucketized and their
+// buckets treated as items.
+
+#ifndef CROSSMODAL_MINING_ITEMSET_MINER_H_
+#define CROSSMODAL_MINING_ITEMSET_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_schema.h"
+#include "features/feature_vector.h"
+#include "labeling/labeling_function.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Thresholds and limits of the mining procedure.
+struct MiningOptions {
+  /// Positive-LF acceptance: dev-set precision and recall floors.
+  double min_precision_pos = 0.65;
+  double min_recall_pos = 0.03;
+  /// Negative-LF acceptance (negatives are abundant under class imbalance,
+  /// so precision is held high and recall floors are stricter).
+  double min_precision_neg = 0.97;
+  double min_recall_neg = 0.05;
+  /// Maximum conjunction order (1 = single feature values; the paper found
+  /// order 1 sufficient in practice).
+  int max_order = 1;
+  /// Quantile buckets per numeric feature.
+  int num_numeric_buckets = 4;
+  /// Cap on emitted LFs per polarity (top by F1).
+  size_t max_lfs_per_polarity = 25;
+  /// Feature ids the miner may use (empty = all features in the schema).
+  std::vector<FeatureId> allowed_features;
+};
+
+/// Statistics of one mining run (reported by the §6.7.1 bench).
+struct MiningReport {
+  size_t order1_candidates = 0;
+  size_t higher_order_candidates = 0;
+  size_t accepted_positive = 0;
+  size_t accepted_negative = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// One accepted itemset and its dev-set quality.
+struct MinedItemset {
+  FeatureId feature = -1;
+  /// Category items (conjunction within `feature`); empty for numeric items.
+  std::vector<int32_t> categories;
+  /// Numeric bucket [lo, hi); used when categories is empty.
+  double lo = 0.0, hi = 0.0;
+  Vote polarity = Vote::kAbstain;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// The result of MineLFs: ready-to-apply LFs plus provenance.
+struct MiningResult {
+  std::vector<LabelingFunctionPtr> lfs;
+  std::vector<MinedItemset> itemsets;  ///< Parallel to `lfs`.
+  MiningReport report;
+};
+
+/// Frequent-itemset LF miner over a development set.
+class ItemsetMiner {
+ public:
+  ItemsetMiner(const FeatureSchema* schema, MiningOptions options);
+
+  /// Mines LFs from dev rows and binary labels (1 positive / 0 negative).
+  /// Fails when the dev set is empty or single-class.
+  Result<MiningResult> MineLFs(const std::vector<const FeatureVector*>& rows,
+                               const std::vector<int>& labels) const;
+
+ private:
+  const FeatureSchema* schema_;
+  MiningOptions options_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_MINING_ITEMSET_MINER_H_

@@ -1,0 +1,50 @@
+// Encoded training data: sparse rows with soft (probabilistic) targets.
+
+#ifndef CROSSMODAL_ML_DATASET_H_
+#define CROSSMODAL_ML_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace crossmodal {
+
+/// A sparse feature row: (index, value) pairs, indices strictly increasing.
+struct SparseRow {
+  std::vector<std::pair<uint32_t, float>> entries;
+
+  void Add(uint32_t index, float value) { entries.emplace_back(index, value); }
+
+  /// Dot product with a dense weight vector.
+  double Dot(const std::vector<double>& weights) const {
+    double acc = 0.0;
+    for (const auto& [i, v] : entries) acc += weights[i] * v;
+    return acc;
+  }
+};
+
+/// One training example. `target` is a soft label in [0, 1] — hard labels
+/// are 0/1, weak-supervision labels are the generative-model posterior; the
+/// trainers' noise-aware cross-entropy consumes it directly.
+struct Example {
+  SparseRow x;
+  float target = 0.0f;
+  float weight = 1.0f;
+};
+
+/// An encoded dataset.
+struct Dataset {
+  size_t dim = 0;
+  std::vector<Example> examples;
+
+  size_t size() const { return examples.size(); }
+  bool empty() const { return examples.empty(); }
+
+  /// Appends another dataset's examples (dims must match).
+  void Append(const Dataset& other);
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_ML_DATASET_H_

@@ -1,0 +1,100 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace crossmodal {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+std::vector<double> PredictAll(const Model& model,
+                               const std::vector<SparseRow>& rows) {
+  std::vector<double> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = model.Predict(rows[i]);
+  return out;
+}
+
+Result<LogisticRegression> LogisticRegression::Train(
+    const Dataset& data, const TrainOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+
+  LogisticRegression model;
+  model.weights_.assign(data.dim, 0.0);
+  model.bias_ = 0.0;
+
+  // Adam state (dense; dims here are a few hundred).
+  std::vector<double> m(data.dim, 0.0), v(data.dim, 0.0);
+  double mb = 0.0, vb = 0.0;
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double beta1_t = 1.0, beta2_t = 1.0;
+
+  std::vector<double> grad(data.dim, 0.0);
+  std::vector<uint32_t> touched;
+
+  Rng rng(options.seed);
+  const size_t n = data.size();
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto perm = rng.Permutation(n);
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      const size_t end = std::min(n, start + options.batch_size);
+      touched.clear();
+      double grad_b = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        const Example& ex = data.examples[perm[k]];
+        const double p = Sigmoid(ex.x.Dot(model.weights_) + model.bias_);
+        double w = ex.weight;
+        if (ex.target > 0.5) w *= options.positive_weight;
+        // Noise-aware CE gradient: (p - soft_target).
+        const double g = w * (p - ex.target);
+        for (const auto& [idx, val] : ex.x.entries) {
+          if (grad[idx] == 0.0) touched.push_back(idx);
+          grad[idx] += g * val;
+        }
+        grad_b += g;
+      }
+      const double scale = 1.0 / static_cast<double>(end - start);
+      beta1_t *= beta1;
+      beta2_t *= beta2;
+      const double corr1 = 1.0 - beta1_t, corr2 = 1.0 - beta2_t;
+      for (uint32_t idx : touched) {
+        const double g = grad[idx] * scale + options.l2 * model.weights_[idx];
+        grad[idx] = 0.0;
+        m[idx] = beta1 * m[idx] + (1.0 - beta1) * g;
+        v[idx] = beta2 * v[idx] + (1.0 - beta2) * g * g;
+        model.weights_[idx] -= options.learning_rate * (m[idx] / corr1) /
+                               (std::sqrt(v[idx] / corr2) + eps);
+      }
+      const double gb = grad_b * scale;
+      mb = beta1 * mb + (1.0 - beta1) * gb;
+      vb = beta2 * vb + (1.0 - beta2) * gb * gb;
+      model.bias_ -= options.learning_rate * (mb / corr1) /
+                     (std::sqrt(vb / corr2) + eps);
+    }
+  }
+  return model;
+}
+
+double LogisticRegression::Predict(const SparseRow& x) const {
+  return Sigmoid(x.Dot(weights_) + bias_);
+}
+
+std::vector<double> LogisticRegression::Embed(const SparseRow& x) const {
+  return {x.Dot(weights_) + bias_};
+}
+
+double LogisticRegression::PredictFromEmbedding(
+    const std::vector<double>& e) const {
+  CM_CHECK(e.size() == 1);
+  return Sigmoid(e[0]);
+}
+
+}  // namespace crossmodal

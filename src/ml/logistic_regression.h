@@ -1,0 +1,36 @@
+// L2-regularized logistic regression trained with Adam on soft targets.
+
+#ifndef CROSSMODAL_ML_LOGISTIC_REGRESSION_H_
+#define CROSSMODAL_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace crossmodal {
+
+/// Linear model over sparse rows; Embed() returns the single logit.
+class LogisticRegression : public Model {
+ public:
+  /// Trains on `data` (soft targets) with the given options. Fails on an
+  /// empty dataset.
+  static Result<LogisticRegression> Train(const Dataset& data,
+                                          const TrainOptions& options);
+
+  double Predict(const SparseRow& x) const override;
+  std::vector<double> Embed(const SparseRow& x) const override;
+  size_t embed_dim() const override { return 1; }
+  double PredictFromEmbedding(const std::vector<double>& e) const override;
+  size_t num_parameters() const override { return weights_.size() + 1; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,124 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+namespace {
+/// Indices sorted by descending score; ties broken by index for determinism.
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+}  // namespace
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  CM_CHECK(scores.size() == labels.size());
+  size_t n_pos = 0;
+  for (int y : labels) n_pos += (y == 1);
+  if (n_pos == 0) return 0.0;
+
+  const auto order = DescendingOrder(scores);
+  double ap = 0.0;
+  size_t tp = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (labels[order[k]] == 1) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+    }
+  }
+  return ap / static_cast<double>(n_pos);
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  CM_CHECK(scores.size() == labels.size());
+  size_t n_pos = 0, n_neg = 0;
+  for (int y : labels) (y == 1 ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Rank-sum with average ranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double n_pos_d = static_cast<double>(n_pos);
+  const double n_neg_d = static_cast<double>(n_neg);
+  return (rank_sum_pos - n_pos_d * (n_pos_d + 1.0) / 2.0) /
+         (n_pos_d * n_neg_d);
+}
+
+PrfMetrics PrecisionRecallF1(const std::vector<double>& scores,
+                             const std::vector<int>& labels,
+                             double threshold) {
+  CM_CHECK(scores.size() == labels.size());
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    if (pred && labels[i] == 1) ++tp;
+    if (pred && labels[i] == 0) ++fp;
+    if (!pred && labels[i] == 1) ++fn;
+  }
+  PrfMetrics m;
+  if (tp + fp > 0) {
+    m.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  if (tp + fn > 0) {
+    m.recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<int>& labels) {
+  CM_CHECK(scores.size() == labels.size());
+  size_t n_pos = 0;
+  for (int y : labels) n_pos += (y == 1);
+  std::vector<PrPoint> curve;
+  if (n_pos == 0) return curve;
+  const auto order = DescendingOrder(scores);
+  size_t tp = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (labels[order[k]] == 1) ++tp;
+    // Emit a point at the end of each tie group.
+    if (k + 1 < order.size() &&
+        scores[order[k + 1]] == scores[order[k]]) {
+      continue;
+    }
+    PrPoint p;
+    p.threshold = scores[order[k]];
+    p.precision = static_cast<double>(tp) / static_cast<double>(k + 1);
+    p.recall = static_cast<double>(tp) / static_cast<double>(n_pos);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,45 @@
+// Binary-classification metrics; AUPRC is the paper's headline metric (§6.3).
+
+#ifndef CROSSMODAL_ML_METRICS_H_
+#define CROSSMODAL_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crossmodal {
+
+/// Area under the precision-recall curve, computed as average precision
+/// (the standard step-wise interpolation). Labels are {0,1}; higher scores
+/// mean more positive. Returns 0 when there are no positives.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+/// Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Precision / recall / F1 of `score >= threshold` decisions.
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+PrfMetrics PrecisionRecallF1(const std::vector<double>& scores,
+                             const std::vector<int>& labels,
+                             double threshold = 0.5);
+
+/// One point of a PR curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+/// The full precision-recall curve (descending threshold order).
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<int>& labels);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_ML_METRICS_H_

@@ -1,0 +1,65 @@
+// Multinomial (softmax) logistic regression on soft target distributions —
+// the multi-class counterpart of LogisticRegression, for multi-class weak
+// supervision (§4.1).
+
+#ifndef CROSSMODAL_ML_SOFTMAX_REGRESSION_H_
+#define CROSSMODAL_ML_SOFTMAX_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// One multi-class training example: sparse row + target distribution.
+struct MulticlassExample {
+  SparseRow x;
+  std::vector<float> target;  ///< Size num_classes; sums to 1.
+  float weight = 1.0f;
+};
+
+/// Multi-class dataset.
+struct MulticlassDataset {
+  size_t dim = 0;
+  int32_t num_classes = 0;
+  std::vector<MulticlassExample> examples;
+};
+
+/// Linear softmax classifier trained with Adam on soft targets.
+class SoftmaxRegression {
+ public:
+  /// Trains on `data`; fails on empty data or inconsistent targets.
+  static Result<SoftmaxRegression> Train(const MulticlassDataset& data,
+                                         const TrainOptions& options);
+
+  /// Class probability distribution for a row.
+  std::vector<double> Predict(const SparseRow& x) const;
+
+  /// Argmax class.
+  int32_t PredictClass(const SparseRow& x) const;
+
+  int32_t num_classes() const { return num_classes_; }
+  size_t num_parameters() const {
+    return weights_.size() + biases_.size();
+  }
+
+ private:
+  int32_t num_classes_ = 0;
+  size_t dim_ = 0;
+  std::vector<double> weights_;  // [class][dim] row-major
+  std::vector<double> biases_;
+};
+
+/// Multi-class accuracy of argmax predictions.
+double MulticlassAccuracy(const std::vector<int32_t>& predicted,
+                          const std::vector<int32_t>& truth);
+
+/// Macro-averaged F1 over classes.
+double MacroF1(const std::vector<int32_t>& predicted,
+               const std::vector<int32_t>& truth, int32_t num_classes);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_ML_SOFTMAX_REGRESSION_H_

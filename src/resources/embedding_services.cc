@@ -1,0 +1,92 @@
+#include "resources/embedding_services.h"
+
+#include <cmath>
+
+namespace crossmodal {
+
+namespace {
+FeatureDef EmbeddingDef(const std::string& name, int dim) {
+  return FeatureDef{.name = name,
+                    .type = FeatureType::kEmbedding,
+                    .set = ServiceSet::kImage,
+                    .cardinality = dim,
+                    .modalities = kImageMask | kVideoMask,
+                    .servable = true};
+}
+}  // namespace
+
+ImageEmbeddingService::ImageEmbeddingService(const WorldConfig& world,
+                                             std::string name, uint64_t seed,
+                                             double noise_sigma,
+                                             int semantic_rank)
+    : SimulatedService(EmbeddingDef(name, world.embedding_dim),
+                       ResourceKind::kPretrainedEmbedding, seed,
+                       ModalityNoise{}),
+      noise_sigma_(noise_sigma),
+      semantic_rank_(std::min(semantic_rank, world.semantic_dim)),
+      out_dim_(world.embedding_dim) {
+  Rng rng(DeriveSeed(seed, name.c_str()));
+  projection_.resize(static_cast<size_t>(out_dim_));
+  for (auto& row : projection_) {
+    row.resize(static_cast<size_t>(world.semantic_dim));
+    for (auto& v : row) {
+      v = static_cast<float>(rng.Normal(0.0, 1.0 / std::sqrt(
+                                                   world.semantic_dim)));
+    }
+  }
+}
+
+std::unique_ptr<ImageEmbeddingService> ImageEmbeddingService::Proprietary(
+    const WorldConfig& world, uint64_t seed) {
+  return std::make_unique<ImageEmbeddingService>(
+      world, "proprietary_embedding", seed, /*noise_sigma=*/0.12,
+      /*semantic_rank=*/world.semantic_dim);
+}
+
+std::unique_ptr<ImageEmbeddingService> ImageEmbeddingService::Generic(
+    const WorldConfig& world, uint64_t seed) {
+  return std::make_unique<ImageEmbeddingService>(
+      world, "generic_embedding", seed, /*noise_sigma=*/0.30,
+      /*semantic_rank=*/(world.semantic_dim * 2) / 3);
+}
+
+FeatureValue ImageEmbeddingService::Observe(const Entity& entity,
+                                            const ChannelNoise& /*noise*/,
+                                            Rng* rng) const {
+  std::vector<float> out(static_cast<size_t>(out_dim_), 0.0f);
+  const auto& s = entity.latent.semantic;
+  for (int i = 0; i < out_dim_; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < semantic_rank_ && j < static_cast<int>(s.size());
+         ++j) {
+      acc += static_cast<double>(projection_[static_cast<size_t>(i)]
+                                            [static_cast<size_t>(j)]) *
+             s[static_cast<size_t>(j)];
+    }
+    out[static_cast<size_t>(i)] =
+        static_cast<float>(acc + rng->Normal(0.0, noise_sigma_));
+  }
+  return FeatureValue::Embedding(std::move(out));
+}
+
+ImageQualityService::ImageQualityService(uint64_t seed)
+    : SimulatedService(
+          FeatureDef{.name = "image_quality",
+                     .type = FeatureType::kNumeric,
+                     .set = ServiceSet::kImage,
+                     .cardinality = 0,
+                     .modalities = kImageMask | kVideoMask,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, ModalityNoise{}) {}
+
+FeatureValue ImageQualityService::Observe(const Entity& entity,
+                                          const ChannelNoise& /*noise*/,
+                                          Rng* rng) const {
+  // Slight correlation with intensity (blatant content is often reposted,
+  // recompressed screenshots).
+  const double quality = 0.7 - 0.1 * entity.latent.intensity +
+                         rng->Normal(0.0, 0.15);
+  return FeatureValue::Numeric(quality);
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,19 @@
+#include "resources/feature_service.h"
+
+namespace crossmodal {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kModelBasedService:
+      return "model-based service";
+    case ResourceKind::kAggregateStatistic:
+      return "aggregate statistic";
+    case ResourceKind::kRuleBasedService:
+      return "rule-based service";
+    case ResourceKind::kPretrainedEmbedding:
+      return "pre-trained embedding";
+  }
+  return "?";
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,62 @@
+// FeatureService: the organizational-resource abstraction (§3.1).
+//
+// A service takes a data point of some modality and returns a structured
+// output describing it — a categorical set, a number, or an embedding. The
+// library treats the organization's services as a library of feature
+// transformations; composing their outputs forms the common feature space.
+
+#ifndef CROSSMODAL_RESOURCES_FEATURE_SERVICE_H_
+#define CROSSMODAL_RESOURCES_FEATURE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "features/feature_schema.h"
+#include "features/feature_value.h"
+#include "synth/entity.h"
+
+namespace crossmodal {
+
+/// Kind of organizational resource, for documentation/reporting (§3.1.1).
+enum class ResourceKind {
+  kModelBasedService,    ///< Topic models, object detectors, KG queries, ...
+  kAggregateStatistic,   ///< Metadata-joined statistics (reports, shares).
+  kRuleBasedService,     ///< Team heuristics and keyword lists.
+  kPretrainedEmbedding,  ///< Dense embeddings from pre-trained models.
+};
+
+const char* ResourceKindName(ResourceKind kind);
+
+/// An organizational resource exposed as a feature transformation.
+///
+/// Apply() must behave as a pure function of the entity: repeated
+/// application yields the identical value (simulated services derive their
+/// observation noise deterministically from (service seed, entity id)).
+/// Returns a missing FeatureValue when the service does not apply to the
+/// entity's modality or abstains.
+class FeatureService {
+ public:
+  virtual ~FeatureService() = default;
+
+  /// Declaration of the feature this service emits.
+  virtual const FeatureDef& output_def() const = 0;
+
+  /// What kind of resource this is.
+  virtual ResourceKind kind() const = 0;
+
+  /// Computes the feature for one entity.
+  virtual FeatureValue Apply(const Entity& entity) const = 0;
+
+  const std::string& name() const { return output_def().name; }
+
+  /// True if the service emits values for this modality.
+  bool AppliesTo(Modality m) const {
+    return MaskContains(output_def().modalities, m);
+  }
+};
+
+using FeatureServicePtr = std::unique_ptr<FeatureService>;
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_FEATURE_SERVICE_H_

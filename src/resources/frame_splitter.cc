@@ -1,0 +1,94 @@
+#include "resources/frame_splitter.h"
+
+#include "util/random.h"
+
+namespace crossmodal {
+
+EntityId VideoFrameSplitter::FrameId(EntityId video_id, size_t k) {
+  return DeriveSeed(video_id, 0xF0A0E000ULL + k);
+}
+
+Result<std::vector<Entity>> VideoFrameSplitter::Split(
+    const Entity& video) const {
+  if (video.modality != Modality::kVideo) {
+    return Status::InvalidArgument("Split requires a video entity");
+  }
+  if (video.frames.empty()) {
+    return Status::FailedPrecondition("video has no frames");
+  }
+  size_t n = video.frames.size();
+  if (max_frames_ > 0 && max_frames_ < n) n = max_frames_;
+  // Representative frames: evenly strided over the video.
+  const size_t stride = video.frames.size() / n;
+  std::vector<Entity> out;
+  out.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    Entity frame;
+    frame.id = FrameId(video.id, k);
+    frame.modality = Modality::kImage;
+    frame.label = video.label;
+    frame.timestamp = video.timestamp;
+    frame.latent = video.frames[k * stride];
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+FeatureVector AggregateFrameRows(const std::vector<FeatureVector>& frame_rows,
+                                 const FeatureSchema& schema) {
+  FeatureVector out(schema.size());
+  for (size_t f = 0; f < schema.size(); ++f) {
+    const FeatureId id = static_cast<FeatureId>(f);
+    switch (schema.def(id).type) {
+      case FeatureType::kCategorical: {
+        std::vector<int32_t> all;
+        bool present = false;
+        for (const auto& row : frame_rows) {
+          const FeatureValue& v = row.Get(id);
+          if (v.is_missing() || v.type() != FeatureType::kCategorical) {
+            continue;
+          }
+          present = true;
+          all.insert(all.end(), v.categories().begin(),
+                     v.categories().end());
+        }
+        if (present) out.Set(id, FeatureValue::Categorical(std::move(all)));
+        break;
+      }
+      case FeatureType::kNumeric: {
+        double total = 0.0;
+        size_t count = 0;
+        for (const auto& row : frame_rows) {
+          const FeatureValue& v = row.Get(id);
+          if (v.is_missing() || v.type() != FeatureType::kNumeric) continue;
+          total += v.numeric();
+          ++count;
+        }
+        if (count > 0) out.Set(id, FeatureValue::Numeric(total / count));
+        break;
+      }
+      case FeatureType::kEmbedding: {
+        std::vector<float> mean;
+        size_t count = 0;
+        for (const auto& row : frame_rows) {
+          const FeatureValue& v = row.Get(id);
+          if (v.is_missing() || v.type() != FeatureType::kEmbedding) continue;
+          if (mean.empty()) mean.assign(v.embedding().size(), 0.0f);
+          if (mean.size() != v.embedding().size()) continue;
+          for (size_t d = 0; d < mean.size(); ++d) {
+            mean[d] += v.embedding()[d];
+          }
+          ++count;
+        }
+        if (count > 0) {
+          for (auto& x : mean) x /= static_cast<float>(count);
+          out.Set(id, FeatureValue::Embedding(std::move(mean)));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace crossmodal

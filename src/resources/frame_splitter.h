@@ -1,0 +1,42 @@
+// VideoFrameSplitter: tool that splits a video into representative image
+// frames (§3.1.1), so image-era services and pipelines extend to video.
+
+#ifndef CROSSMODAL_RESOURCES_FRAME_SPLITTER_H_
+#define CROSSMODAL_RESOURCES_FRAME_SPLITTER_H_
+
+#include <vector>
+
+#include "synth/entity.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Splits video entities into per-frame image entities. Frame entities get
+/// ids derived from the video id so downstream joins stay deterministic.
+class VideoFrameSplitter {
+ public:
+  /// `max_frames` caps how many representative frames are emitted (0 = all).
+  explicit VideoFrameSplitter(size_t max_frames = 0)
+      : max_frames_(max_frames) {}
+
+  /// Fails unless `video` is a video entity with at least one frame.
+  Result<std::vector<Entity>> Split(const Entity& video) const;
+
+  /// Id of frame `k` of video `video_id` (stable derivation).
+  static EntityId FrameId(EntityId video_id, size_t k);
+
+ private:
+  size_t max_frames_;
+};
+
+/// Pools per-frame feature rows into one video-level row in the common
+/// feature space: categorical features take the union of frame categories,
+/// numeric features the mean, embeddings the element-wise mean. This is how
+/// a video inherits the image-era services (§3.1.1: split into frames, run
+/// the image services, share the feature space).
+FeatureVector AggregateFrameRows(const std::vector<FeatureVector>& frame_rows,
+                                 const FeatureSchema& schema);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_FRAME_SPLITTER_H_

@@ -1,0 +1,60 @@
+#include "resources/keyword_services.h"
+
+#include <algorithm>
+
+namespace crossmodal {
+
+KeywordTopicsService::KeywordTopicsService(const WorldConfig& world,
+                                           uint64_t seed, ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "keyword_topics",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kB,
+                     .cardinality = world.num_keywords,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_keywords) {}
+
+FeatureValue KeywordTopicsService::Observe(const Entity& entity,
+                                           const ChannelNoise& noise,
+                                           Rng* rng) const {
+  return NoisyCategorical(entity.latent.keywords, vocab_, noise, rng);
+}
+
+KeywordRiskFlagService::KeywordRiskFlagService(
+    std::vector<int32_t> risky_keywords, uint64_t seed, ModalityNoise noise,
+    double false_fire_rate)
+    : SimulatedService(
+          FeatureDef{.name = "keyword_risk_flag",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kB,
+                     .cardinality = 2,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kRuleBasedService, seed, noise),
+      risky_keywords_(std::move(risky_keywords)),
+      false_fire_rate_(false_fire_rate) {
+  std::sort(risky_keywords_.begin(), risky_keywords_.end());
+}
+
+FeatureValue KeywordRiskFlagService::Observe(const Entity& entity,
+                                             const ChannelNoise& noise,
+                                             Rng* rng) const {
+  bool has_risky_keyword = false;
+  for (int32_t k : entity.latent.keywords) {
+    if (std::binary_search(risky_keywords_.begin(), risky_keywords_.end(),
+                           k)) {
+      has_risky_keyword = true;
+      break;
+    }
+  }
+  // The heuristic targets blatant content: the rule's authors tuned it on
+  // obvious violations, so it keys on high intensity plus a listed keyword.
+  bool fires = has_risky_keyword && entity.latent.intensity > 0.6 &&
+               rng->Bernoulli(0.92);
+  if (!fires && rng->Bernoulli(false_fire_rate_)) fires = true;
+  return NoisyCategorical(fires ? 1 : 0, 2, noise, rng);
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,47 @@
+// Service set B: keyword-based metadata services (§6.2).
+
+#ifndef CROSSMODAL_RESOURCES_KEYWORD_SERVICES_H_
+#define CROSSMODAL_RESOURCES_KEYWORD_SERVICES_H_
+
+#include <vector>
+
+#include "resources/simulated_service.h"
+#include "synth/world_config.h"
+
+namespace crossmodal {
+
+/// Extracts keyword metadata from the post (keywords for text; OCR/caption
+/// keywords for image, hence a noisier image channel).
+class KeywordTopicsService : public SimulatedService {
+ public:
+  KeywordTopicsService(const WorldConfig& world, uint64_t seed,
+                       ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Rule-based service: the team's curated list of risky keywords (§3.1.1).
+/// Fires (category 1) when blatant content carries a known-risky keyword;
+/// small false-fire rate on everything else. Binary categorical {0, 1}.
+class KeywordRiskFlagService : public SimulatedService {
+ public:
+  KeywordRiskFlagService(std::vector<int32_t> risky_keywords, uint64_t seed,
+                         ModalityNoise noise, double false_fire_rate = 0.005);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  std::vector<int32_t> risky_keywords_;
+  double false_fire_rate_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_KEYWORD_SERVICES_H_

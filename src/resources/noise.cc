@@ -1,0 +1,74 @@
+#include "resources/noise.h"
+
+#include <algorithm>
+
+namespace crossmodal {
+
+ChannelNoise ChannelNoise::Scaled(double f) const {
+  auto clamp = [](double v) { return std::min(0.95, std::max(0.0, v)); };
+  ChannelNoise out;
+  out.drop_rate = clamp(drop_rate * f);
+  out.confuse_rate = clamp(confuse_rate * f);
+  out.spurious_rate = clamp(spurious_rate * f);
+  out.missing_rate = clamp(missing_rate * f);
+  return out;
+}
+
+const ChannelNoise& ModalityNoise::For(Modality m) const {
+  switch (m) {
+    case Modality::kText:
+      return text;
+    case Modality::kImage:
+      return image;
+    case Modality::kVideo:
+      return video;
+  }
+  return text;
+}
+
+ModalityNoise ModalityNoise::Uniform(const ChannelNoise& base,
+                                     double image_factor) {
+  ModalityNoise out;
+  out.text = base;
+  out.image = base.Scaled(image_factor);
+  out.video = base.Scaled(image_factor * 1.15);
+  return out;
+}
+
+Rng ServiceRng(uint64_t service_seed, uint64_t entity_id) {
+  return Rng(DeriveSeed(service_seed, entity_id));
+}
+
+FeatureValue NoisyCategorical(const std::vector<int32_t>& truth, int32_t vocab,
+                              const ChannelNoise& noise, Rng* rng) {
+  if (rng->Bernoulli(noise.missing_rate)) return FeatureValue::Missing();
+  std::vector<int32_t> observed;
+  observed.reserve(truth.size() + 1);
+  for (int32_t v : truth) {
+    if (rng->Bernoulli(noise.drop_rate)) continue;
+    if (rng->Bernoulli(noise.confuse_rate)) {
+      observed.push_back(static_cast<int32_t>(
+          rng->UniformInt(static_cast<uint64_t>(vocab))));
+    } else {
+      observed.push_back(v);
+    }
+  }
+  if (rng->Bernoulli(noise.spurious_rate)) {
+    observed.push_back(static_cast<int32_t>(
+        rng->UniformInt(static_cast<uint64_t>(vocab))));
+  }
+  return FeatureValue::Categorical(std::move(observed));
+}
+
+FeatureValue NoisyCategorical(int32_t truth, int32_t vocab,
+                              const ChannelNoise& noise, Rng* rng) {
+  return NoisyCategorical(std::vector<int32_t>{truth}, vocab, noise, rng);
+}
+
+FeatureValue NoisyNumeric(double truth, double sigma,
+                          const ChannelNoise& noise, Rng* rng) {
+  if (rng->Bernoulli(noise.missing_rate)) return FeatureValue::Missing();
+  return FeatureValue::Numeric(truth + rng->Normal(0.0, sigma));
+}
+
+}  // namespace crossmodal

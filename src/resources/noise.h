@@ -1,0 +1,66 @@
+// Noisy observation channels for simulated services.
+//
+// A real organizational resource observes an entity's latent semantics
+// imperfectly, and its reliability depends on the modality (an org's text
+// topic model is usually more mature than its image one). ChannelNoise
+// captures that as per-application drop / confusion / spurious-output /
+// abstention rates; all draws are deterministic in (seed, entity id).
+
+#ifndef CROSSMODAL_RESOURCES_NOISE_H_
+#define CROSSMODAL_RESOURCES_NOISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_value.h"
+#include "features/modality.h"
+#include "util/random.h"
+
+namespace crossmodal {
+
+/// Error rates of one service on one modality.
+struct ChannelNoise {
+  double drop_rate = 0.0;     ///< P(a true category is not reported).
+  double confuse_rate = 0.0;  ///< P(a reported category is randomized).
+  double spurious_rate = 0.0; ///< P(an extra random category is added).
+  double missing_rate = 0.0;  ///< P(the service abstains entirely).
+
+  /// Scales all error rates by `f` (clamped to [0, 0.95]).
+  ChannelNoise Scaled(double f) const;
+};
+
+/// Noise profile of a service across modalities.
+struct ModalityNoise {
+  ChannelNoise text;
+  ChannelNoise image;
+  ChannelNoise video;
+
+  const ChannelNoise& For(Modality m) const;
+
+  /// A profile where image/video channels are `image_factor` times noisier
+  /// than the text channel.
+  static ModalityNoise Uniform(const ChannelNoise& base,
+                               double image_factor = 1.0);
+};
+
+/// Deterministic RNG for one (service, entity) application.
+Rng ServiceRng(uint64_t service_seed, uint64_t entity_id);
+
+/// Passes a set of true categories through the channel: drops, confusions,
+/// spurious additions, or full abstention (missing value).
+FeatureValue NoisyCategorical(const std::vector<int32_t>& truth,
+                              int32_t vocab, const ChannelNoise& noise,
+                              Rng* rng);
+
+/// Single-category convenience overload.
+FeatureValue NoisyCategorical(int32_t truth, int32_t vocab,
+                              const ChannelNoise& noise, Rng* rng);
+
+/// Passes a numeric truth through the channel: abstention or additive
+/// Gaussian noise of scale `sigma`.
+FeatureValue NoisyNumeric(double truth, double sigma,
+                          const ChannelNoise& noise, Rng* rng);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_NOISE_H_

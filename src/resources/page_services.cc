@@ -1,0 +1,100 @@
+#include "resources/page_services.h"
+
+#include <cmath>
+
+namespace crossmodal {
+
+PageCategoryService::PageCategoryService(const WorldConfig& world,
+                                         uint64_t seed, ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "page_category",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kD,
+                     .cardinality = world.num_page_categories,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_page_categories) {}
+
+FeatureValue PageCategoryService::Observe(const Entity& entity,
+                                          const ChannelNoise& noise,
+                                          Rng* rng) const {
+  return NoisyCategorical(entity.latent.page_category, vocab_, noise, rng);
+}
+
+KnowledgeGraphService::KnowledgeGraphService(const WorldConfig& world,
+                                             uint64_t seed,
+                                             ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "kg_entities",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kD,
+                     .cardinality = world.num_kg_entities,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_kg_entities) {}
+
+FeatureValue KnowledgeGraphService::Observe(const Entity& entity,
+                                            const ChannelNoise& noise,
+                                            Rng* rng) const {
+  return NoisyCategorical(entity.latent.kg_entities, vocab_, noise, rng);
+}
+
+ObjectLabelsService::ObjectLabelsService(const WorldConfig& world,
+                                         uint64_t seed, ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "object_labels",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kD,
+                     .cardinality = world.num_objects,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_objects) {}
+
+FeatureValue ObjectLabelsService::Observe(const Entity& entity,
+                                          const ChannelNoise& noise,
+                                          Rng* rng) const {
+  return NoisyCategorical(entity.latent.objects, vocab_, noise, rng);
+}
+
+UserReportCountService::UserReportCountService(uint64_t seed,
+                                               ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "user_report_count",
+                     .type = FeatureType::kNumeric,
+                     .set = ServiceSet::kD,
+                     .cardinality = 0,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kAggregateStatistic, seed, noise) {}
+
+FeatureValue UserReportCountService::Observe(const Entity& entity,
+                                             const ChannelNoise& noise,
+                                             Rng* rng) const {
+  return NoisyNumeric(std::log1p(entity.latent.report_count), 0.1, noise,
+                      rng);
+}
+
+ContentRiskScoreService::ContentRiskScoreService(uint64_t seed,
+                                                 ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "content_risk_score",
+                     .type = FeatureType::kNumeric,
+                     .set = ServiceSet::kD,
+                     .cardinality = 0,
+                     .modalities = kAllModalities,
+                     .servable = false},  // nonservable (§6.4)
+          ResourceKind::kModelBasedService, seed, noise) {}
+
+FeatureValue ContentRiskScoreService::Observe(const Entity& entity,
+                                              const ChannelNoise& noise,
+                                              Rng* rng) const {
+  const double score =
+      0.60 * entity.latent.intensity + 0.25 * entity.latent.user_risk +
+      0.15 * entity.latent.url_risk;
+  return NoisyNumeric(score, 0.04, noise, rng);
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,80 @@
+// Service set D: page-content-based services and aggregate statistics (§6.2).
+
+#ifndef CROSSMODAL_RESOURCES_PAGE_SERVICES_H_
+#define CROSSMODAL_RESOURCES_PAGE_SERVICES_H_
+
+#include "resources/simulated_service.h"
+#include "synth/world_config.h"
+
+namespace crossmodal {
+
+/// Categorizes the web page the post links to.
+class PageCategoryService : public SimulatedService {
+ public:
+  PageCategoryService(const WorldConfig& world, uint64_t seed,
+                      ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Knowledge-graph querying tool: entities and relationships extracted from
+/// the post and its linked page (multivalent).
+class KnowledgeGraphService : public SimulatedService {
+ public:
+  KnowledgeGraphService(const WorldConfig& world, uint64_t seed,
+                        ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Object-detection model for a related task (multivalent). More reliable on
+/// image than text (objects are only *mentioned* in text).
+class ObjectLabelsService : public SimulatedService {
+ public:
+  ObjectLabelsService(const WorldConfig& world, uint64_t seed,
+                      ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Aggregate statistic: how many times the posting user has been reported
+/// (joined via the user-ID metadata field; numeric).
+class UserReportCountService : public SimulatedService {
+ public:
+  explicit UserReportCountService(uint64_t seed, ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+};
+
+/// Expensive ensemble risk scorer; too costly to run at serving time, so it
+/// is declared NONSERVABLE (§6.4): it may feed labeling functions and label
+/// propagation but never the deployed end model.
+class ContentRiskScoreService : public SimulatedService {
+ public:
+  explicit ContentRiskScoreService(uint64_t seed, ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_PAGE_SERVICES_H_

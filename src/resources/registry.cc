@@ -1,0 +1,114 @@
+#include "resources/registry.h"
+
+#include "resources/embedding_services.h"
+#include "resources/keyword_services.h"
+#include "resources/page_services.h"
+#include "resources/topic_services.h"
+#include "resources/url_services.h"
+#include "util/logging.h"
+
+namespace crossmodal {
+
+Status ResourceRegistry::Register(FeatureServicePtr service) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("service must not be null");
+  }
+  CM_ASSIGN_OR_RETURN(FeatureId id, schema_.Add(service->output_def()));
+  CM_CHECK(static_cast<size_t>(id) == services_.size());
+  services_.push_back(std::move(service));
+  return Status::OK();
+}
+
+const FeatureService& ResourceRegistry::service(FeatureId id) const {
+  CM_CHECK(id >= 0 && static_cast<size_t>(id) < services_.size());
+  return *services_[static_cast<size_t>(id)];
+}
+
+FeatureVector ResourceRegistry::GenerateFeatures(const Entity& entity) const {
+  FeatureVector row(schema_.size());
+  for (size_t i = 0; i < services_.size(); ++i) {
+    FeatureValue v = services_[i]->Apply(entity);
+    if (!v.is_missing()) row.Set(static_cast<FeatureId>(i), std::move(v));
+  }
+  return row;
+}
+
+Result<ResourceRegistry> BuildModerationRegistry(const CorpusGenerator& gen,
+                                                 uint64_t seed) {
+  const WorldConfig& world = gen.world();
+  ResourceRegistry registry;
+
+  // Noise profiles. Model-based services matured on text; their image
+  // channels are noisier. Metadata joins (aggregates) work equally well
+  // across modalities but abstain more often on fresh image traffic.
+  const ChannelNoise model_base{.drop_rate = 0.05,
+                                .confuse_rate = 0.04,
+                                .spurious_rate = 0.05,
+                                .missing_rate = 0.02};
+  const ModalityNoise model_noise = ModalityNoise::Uniform(model_base, 2.2);
+  const ChannelNoise agg_base{.drop_rate = 0.0,
+                              .confuse_rate = 0.0,
+                              .spurious_rate = 0.0,
+                              .missing_rate = 0.05};
+  const ModalityNoise agg_noise = ModalityNoise::Uniform(agg_base, 1.6);
+  const ChannelNoise flag_base{.drop_rate = 0.02,
+                               .confuse_rate = 0.01,
+                               .spurious_rate = 0.0,
+                               .missing_rate = 0.01};
+  const ModalityNoise flag_noise = ModalityNoise::Uniform(flag_base, 1.5);
+  // Object detection is the one service that is *better* on image.
+  ModalityNoise object_noise;
+  object_noise.image = model_base;
+  object_noise.video = model_base.Scaled(1.2);
+  object_noise.text = model_base.Scaled(2.4);
+
+  // ---- Set A: URL-based ------------------------------------------------
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<UrlCategoryService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<DomainReputationService>(seed, agg_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<ShareVelocityService>(seed, agg_noise)));
+
+  // ---- Set B: keyword-based ---------------------------------------------
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<KeywordTopicsService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(std::make_unique<KeywordRiskFlagService>(
+      gen.risky_keywords(), seed, flag_noise)));
+
+  // ---- Set C: topic-model-based ------------------------------------------
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<TopicPrimaryService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<TopicSecondaryService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<ContentCategoryService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<SentimentService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<SettingService>(world, seed, model_noise)));
+
+  // ---- Set D: page-content-based ------------------------------------------
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<PageCategoryService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<KnowledgeGraphService>(world, seed, model_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<ObjectLabelsService>(world, seed, object_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<UserReportCountService>(seed, agg_noise)));
+  CM_RETURN_IF_ERROR(registry.Register(
+      std::make_unique<ContentRiskScoreService>(seed, model_noise)));
+
+  // ---- Image-specific services ---------------------------------------------
+  CM_RETURN_IF_ERROR(
+      registry.Register(ImageEmbeddingService::Proprietary(world, seed)));
+  CM_RETURN_IF_ERROR(
+      registry.Register(ImageEmbeddingService::Generic(world, seed)));
+  CM_RETURN_IF_ERROR(
+      registry.Register(std::make_unique<ImageQualityService>(seed)));
+
+  return registry;
+}
+
+}  // namespace crossmodal

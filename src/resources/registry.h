@@ -1,0 +1,63 @@
+// ResourceRegistry: the curated set of organizational resources used for a
+// task, and the common feature space they induce (pipeline step A, §3).
+
+#ifndef CROSSMODAL_RESOURCES_REGISTRY_H_
+#define CROSSMODAL_RESOURCES_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "features/feature_schema.h"
+#include "features/feature_vector.h"
+#include "resources/feature_service.h"
+#include "synth/corpus_generator.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Owns a set of FeatureServices and the FeatureSchema their outputs form.
+/// Feature i of the schema is produced by service i.
+class ResourceRegistry {
+ public:
+  ResourceRegistry() = default;
+
+  // Movable, not copyable (owns services; schema holds stable ids).
+  ResourceRegistry(ResourceRegistry&&) = default;
+  ResourceRegistry& operator=(ResourceRegistry&&) = default;
+
+  /// Registers a service; its output feature is appended to the schema.
+  /// Fails on duplicate feature names.
+  Status Register(FeatureServicePtr service);
+
+  /// The induced common feature space.
+  const FeatureSchema& schema() const { return schema_; }
+
+  size_t size() const { return services_.size(); }
+
+  /// The service producing feature `id`.
+  const FeatureService& service(FeatureId id) const;
+
+  /// Applies every applicable service to the entity, producing its row in
+  /// the common feature space (services that do not apply or abstain leave
+  /// missing slots).
+  FeatureVector GenerateFeatures(const Entity& entity) const;
+
+ private:
+  std::vector<FeatureServicePtr> services_;
+  FeatureSchema schema_;
+};
+
+/// Builds the paper's 15-service registry (sets A/B/C/D) plus the three
+/// image-specific services, wired against a task's synthetic world:
+///   A: url_category, domain_reputation, share_velocity
+///   B: keyword_topics, keyword_risk_flag
+///   C: topic_primary, topic_secondary, content_category, sentiment, setting
+///   D: page_category, kg_entities, object_labels, user_report_count,
+///      content_risk_score (nonservable)
+///   image: proprietary_embedding, generic_embedding, image_quality
+Result<ResourceRegistry> BuildModerationRegistry(const CorpusGenerator& gen,
+                                                 uint64_t seed);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_REGISTRY_H_

@@ -1,0 +1,49 @@
+// SimulatedService: common machinery for the simulated resource library.
+
+#ifndef CROSSMODAL_RESOURCES_SIMULATED_SERVICE_H_
+#define CROSSMODAL_RESOURCES_SIMULATED_SERVICE_H_
+
+#include <utility>
+
+#include "resources/feature_service.h"
+#include "resources/noise.h"
+
+namespace crossmodal {
+
+/// Base class for simulated services: handles modality applicability,
+/// per-entity deterministic seeding, and noise-profile selection; concrete
+/// services implement Observe() over the entity's latents.
+class SimulatedService : public FeatureService {
+ public:
+  SimulatedService(FeatureDef def, ResourceKind kind, uint64_t seed,
+                   ModalityNoise noise)
+      : def_(std::move(def)),
+        kind_(kind),
+        seed_(DeriveSeed(seed, def_.name.c_str())),
+        noise_(noise) {}
+
+  const FeatureDef& output_def() const override { return def_; }
+  ResourceKind kind() const override { return kind_; }
+
+  FeatureValue Apply(const Entity& entity) const final {
+    if (!AppliesTo(entity.modality)) return FeatureValue::Missing();
+    Rng rng = ServiceRng(seed_, entity.id);
+    return Observe(entity, noise_.For(entity.modality), &rng);
+  }
+
+ protected:
+  /// Computes the noisy observation; `rng` is deterministic per
+  /// (service, entity).
+  virtual FeatureValue Observe(const Entity& entity,
+                               const ChannelNoise& noise, Rng* rng) const = 0;
+
+ private:
+  FeatureDef def_;
+  ResourceKind kind_;
+  uint64_t seed_;
+  ModalityNoise noise_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_SIMULATED_SERVICE_H_

@@ -1,0 +1,104 @@
+#include "resources/topic_services.h"
+
+namespace crossmodal {
+
+TopicPrimaryService::TopicPrimaryService(const WorldConfig& world,
+                                         uint64_t seed, ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "topic_primary",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kC,
+                     .cardinality = world.num_topics,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_topics) {}
+
+FeatureValue TopicPrimaryService::Observe(const Entity& entity,
+                                          const ChannelNoise& noise,
+                                          Rng* rng) const {
+  return NoisyCategorical(entity.latent.topic, vocab_, noise, rng);
+}
+
+TopicSecondaryService::TopicSecondaryService(const WorldConfig& world,
+                                             uint64_t seed,
+                                             ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "topic_secondary",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kC,
+                     .cardinality = world.num_topics,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_topics) {}
+
+FeatureValue TopicSecondaryService::Observe(const Entity& entity,
+                                            const ChannelNoise& noise,
+                                            Rng* rng) const {
+  // Tail assignments: neighbors of the true topic in a fixed topic ring.
+  std::vector<int32_t> secondary;
+  const int32_t t = entity.latent.topic;
+  if (rng->Bernoulli(0.8)) secondary.push_back((t + 1) % vocab_);
+  if (rng->Bernoulli(0.5)) secondary.push_back((t + vocab_ - 1) % vocab_);
+  return NoisyCategorical(secondary, vocab_, noise, rng);
+}
+
+ContentCategoryService::ContentCategoryService(const WorldConfig& world,
+                                               uint64_t seed,
+                                               ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "content_category",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kC,
+                     .cardinality = (world.num_topics + 3) / 4,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      topic_vocab_(world.num_topics),
+      vocab_((world.num_topics + 3) / 4) {}
+
+FeatureValue ContentCategoryService::Observe(const Entity& entity,
+                                             const ChannelNoise& noise,
+                                             Rng* rng) const {
+  (void)topic_vocab_;
+  const int32_t coarse = entity.latent.topic / 4;
+  return NoisyCategorical(coarse, vocab_, noise, rng);
+}
+
+SentimentService::SentimentService(const WorldConfig& world, uint64_t seed,
+                                   ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "sentiment",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kC,
+                     .cardinality = world.num_sentiments,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise) {}
+
+FeatureValue SentimentService::Observe(const Entity& entity,
+                                       const ChannelNoise& noise,
+                                       Rng* rng) const {
+  return NoisyCategorical(entity.latent.sentiment, 3, noise, rng);
+}
+
+SettingService::SettingService(const WorldConfig& world, uint64_t seed,
+                               ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "setting",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kC,
+                     .cardinality = world.num_settings,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_settings) {}
+
+FeatureValue SettingService::Observe(const Entity& entity,
+                                     const ChannelNoise& noise,
+                                     Rng* rng) const {
+  return NoisyCategorical(entity.latent.setting, vocab_, noise, rng);
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,81 @@
+// Service set C: topic-model-based services (§6.2).
+
+#ifndef CROSSMODAL_RESOURCES_TOPIC_SERVICES_H_
+#define CROSSMODAL_RESOURCES_TOPIC_SERVICES_H_
+
+#include "resources/simulated_service.h"
+#include "synth/world_config.h"
+
+namespace crossmodal {
+
+/// Primary topic assigned by the organization-wide topic model.
+class TopicPrimaryService : public SimulatedService {
+ public:
+  TopicPrimaryService(const WorldConfig& world, uint64_t seed,
+                      ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Secondary/related topics (multivalent): the topic model's tail
+/// assignments — the true topic's neighbors in a fixed topic ring.
+class TopicSecondaryService : public SimulatedService {
+ public:
+  TopicSecondaryService(const WorldConfig& world, uint64_t seed,
+                        ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Coarse content categorization (topic hierarchy roll-up).
+class ContentCategoryService : public SimulatedService {
+ public:
+  ContentCategoryService(const WorldConfig& world, uint64_t seed,
+                         ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t topic_vocab_;
+  int32_t vocab_;
+};
+
+/// Sentiment classifier (3-way).
+class SentimentService : public SimulatedService {
+ public:
+  SentimentService(const WorldConfig& world, uint64_t seed,
+                   ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+};
+
+/// Scene/setting classifier (outdoor, indoor, ...).
+class SettingService : public SimulatedService {
+ public:
+  SettingService(const WorldConfig& world, uint64_t seed, ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_TOPIC_SERVICES_H_

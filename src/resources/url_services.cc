@@ -1,0 +1,64 @@
+#include "resources/url_services.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crossmodal {
+
+UrlCategoryService::UrlCategoryService(const WorldConfig& world, uint64_t seed,
+                                       ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "url_category",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kA,
+                     .cardinality = world.num_url_categories,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kModelBasedService, seed, noise),
+      vocab_(world.num_url_categories) {}
+
+FeatureValue UrlCategoryService::Observe(const Entity& entity,
+                                         const ChannelNoise& noise,
+                                         Rng* rng) const {
+  return NoisyCategorical(entity.latent.url_category, vocab_, noise, rng);
+}
+
+DomainReputationService::DomainReputationService(uint64_t seed,
+                                                 ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "domain_reputation",
+                     .type = FeatureType::kCategorical,
+                     .set = ServiceSet::kA,
+                     .cardinality = 4,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kAggregateStatistic, seed, noise) {}
+
+FeatureValue DomainReputationService::Observe(const Entity& entity,
+                                              const ChannelNoise& noise,
+                                              Rng* rng) const {
+  // Reputation tier from the linked page's riskiness: 0 (trusted) .. 3 (bad).
+  const double risk =
+      std::min(1.0, std::max(0.0, entity.latent.url_risk +
+                                      rng->Normal(0.0, 0.08)));
+  const int32_t tier = std::min<int32_t>(3, static_cast<int32_t>(risk * 4.0));
+  return NoisyCategorical(tier, 4, noise, rng);
+}
+
+ShareVelocityService::ShareVelocityService(uint64_t seed, ModalityNoise noise)
+    : SimulatedService(
+          FeatureDef{.name = "share_velocity",
+                     .type = FeatureType::kNumeric,
+                     .set = ServiceSet::kA,
+                     .cardinality = 0,
+                     .modalities = kAllModalities,
+                     .servable = true},
+          ResourceKind::kAggregateStatistic, seed, noise) {}
+
+FeatureValue ShareVelocityService::Observe(const Entity& entity,
+                                           const ChannelNoise& noise,
+                                           Rng* rng) const {
+  return NoisyNumeric(std::log1p(entity.latent.share_count), 0.15, noise, rng);
+}
+
+}  // namespace crossmodal

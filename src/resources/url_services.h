@@ -1,0 +1,48 @@
+// Service set A: URL-based metadata services (§6.2).
+
+#ifndef CROSSMODAL_RESOURCES_URL_SERVICES_H_
+#define CROSSMODAL_RESOURCES_URL_SERVICES_H_
+
+#include "resources/simulated_service.h"
+#include "synth/world_config.h"
+
+namespace crossmodal {
+
+/// Categorizes the URL a post links to (model-based service).
+class UrlCategoryService : public SimulatedService {
+ public:
+  UrlCategoryService(const WorldConfig& world, uint64_t seed,
+                     ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+
+ private:
+  int32_t vocab_;
+};
+
+/// Buckets the linked domain's reputation into 4 tiers (aggregate statistic
+/// joined on the URL metadata field).
+class DomainReputationService : public SimulatedService {
+ public:
+  explicit DomainReputationService(uint64_t seed, ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+};
+
+/// How fast the post is being shared (aggregate statistic; numeric).
+class ShareVelocityService : public SimulatedService {
+ public:
+  explicit ShareVelocityService(uint64_t seed, ModalityNoise noise);
+
+ protected:
+  FeatureValue Observe(const Entity& entity, const ChannelNoise& noise,
+                       Rng* rng) const override;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_URL_SERVICES_H_

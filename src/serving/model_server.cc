@@ -1,0 +1,115 @@
+#include "serving/model_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace crossmodal {
+
+Result<ModelServer> ModelServer::Create(
+    CrossModalModelPtr model, const FeatureSchema* schema,
+    std::vector<FeatureId> serving_features, ServingOptions options) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (schema == nullptr) return Status::InvalidArgument("schema is null");
+  if (options.enforce_servable) {
+    for (FeatureId f : serving_features) {
+      if (f < 0 || static_cast<size_t>(f) >= schema->size()) {
+        return Status::InvalidArgument("unknown serving feature id " +
+                                       std::to_string(f));
+      }
+      const FeatureDef& def = schema->def(f);
+      if (!def.servable) {
+        return Status::FailedPrecondition(
+            "model requires nonservable feature '" + def.name +
+            "'; nonservable features may only feed offline training-data "
+            "curation (see §6.4)");
+      }
+    }
+  }
+  return ModelServer(std::move(model), schema, std::move(serving_features),
+                     options);
+}
+
+ModelServer::ModelServer(CrossModalModelPtr model,
+                         const FeatureSchema* schema,
+                         std::vector<FeatureId> serving_features,
+                         ServingOptions options)
+    : model_(std::move(model)),
+      schema_(schema),
+      serving_features_(std::move(serving_features)),
+      options_(options) {
+  for (size_t f = 0; f < schema_->size(); ++f) {
+    if (!schema_->def(static_cast<FeatureId>(f)).servable) {
+      nonservable_.push_back(static_cast<FeatureId>(f));
+    }
+  }
+}
+
+double ModelServer::ScoreInternal(const FeatureVector& row) {
+  if (!options_.strip_nonservable_inputs || nonservable_.empty()) {
+    return model_->Score(row);
+  }
+  bool needs_strip = false;
+  for (FeatureId f : nonservable_) {
+    if (!row.Get(f).is_missing()) {
+      needs_strip = true;
+      break;
+    }
+  }
+  if (!needs_strip) return model_->Score(row);
+  FeatureVector stripped(row.size());
+  for (size_t f = 0; f < row.size(); ++f) {
+    const FeatureId id = static_cast<FeatureId>(f);
+    if (std::find(nonservable_.begin(), nonservable_.end(), id) !=
+        nonservable_.end()) {
+      continue;
+    }
+    const FeatureValue& v = row.Get(id);
+    if (!v.is_missing()) stripped.Set(id, v);
+  }
+  return model_->Score(stripped);
+}
+
+double ModelServer::Score(const FeatureVector& row) {
+  Timer timer;
+  const double score = ScoreInternal(row);
+  latencies_us_.push_back(timer.ElapsedSeconds() * 1e6);
+  return score;
+}
+
+std::vector<double> ModelServer::ScoreBatch(
+    const std::vector<const FeatureVector*>& rows) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const FeatureVector* row : rows) {
+    CM_CHECK(row != nullptr);
+    out.push_back(Score(*row));
+  }
+  return out;
+}
+
+LatencyStats ModelServer::latency() const {
+  LatencyStats stats;
+  stats.count = latencies_us_.size();
+  if (latencies_us_.empty()) return stats;
+  std::vector<double> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double v : sorted) total += v;
+  stats.mean_us = total / static_cast<double>(sorted.size());
+  auto quantile = [&](double q) {
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(std::floor(q * static_cast<double>(
+                                               sorted.size() - 1) + 0.5)));
+    return sorted[idx];
+  };
+  stats.p50_us = quantile(0.50);
+  stats.p95_us = quantile(0.95);
+  stats.max_us = sorted.back();
+  return stats;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,83 @@
+// ModelServer: the deployment-side wrapper around a fitted cross-modal
+// model (§2.3's production constraints).
+//
+// Two constraints from the paper's production setting are enforced here:
+//   * nonservable features must never be required at inference time (§6.4)
+//     — the server validates the model's serving feature list at creation
+//     and strips nonservable slots from incoming rows as defense in depth;
+//   * user-facing models need low inference latency — the server records
+//     per-request latency and reports count/mean/p50/p95/max.
+
+#ifndef CROSSMODAL_SERVING_MODEL_SERVER_H_
+#define CROSSMODAL_SERVING_MODEL_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_schema.h"
+#include "features/feature_vector.h"
+#include "fusion/fusion.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Server configuration.
+struct ServingOptions {
+  /// Refuse to serve models whose feature list includes nonservable
+  /// features (the safe default).
+  bool enforce_servable = true;
+  /// Strip nonservable values from incoming rows before scoring (they are
+  /// unavailable in production anyway; stripping makes offline evaluation
+  /// match serving behavior).
+  bool strip_nonservable_inputs = true;
+};
+
+/// Request-latency summary in microseconds.
+struct LatencyStats {
+  size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Owns a fitted model and serves scores over feature rows.
+class ModelServer {
+ public:
+  /// Validates `serving_features` (the features the deployed model reads)
+  /// against the schema's servability flags. Fails with FailedPrecondition
+  /// naming the offending feature when enforcement is on.
+  static Result<ModelServer> Create(CrossModalModelPtr model,
+                                    const FeatureSchema* schema,
+                                    std::vector<FeatureId> serving_features,
+                                    ServingOptions options = ServingOptions());
+
+  /// Scores one row (latency recorded).
+  double Score(const FeatureVector& row);
+
+  /// Scores a batch in order.
+  std::vector<double> ScoreBatch(const std::vector<const FeatureVector*>& rows);
+
+  /// Latency summary over all requests so far.
+  LatencyStats latency() const;
+
+  /// Requests served.
+  size_t requests() const { return latencies_us_.size(); }
+
+ private:
+  ModelServer(CrossModalModelPtr model, const FeatureSchema* schema,
+              std::vector<FeatureId> serving_features, ServingOptions options);
+
+  double ScoreInternal(const FeatureVector& row);
+
+  CrossModalModelPtr model_;
+  const FeatureSchema* schema_;
+  std::vector<FeatureId> serving_features_;
+  std::vector<FeatureId> nonservable_;  // ids to strip from inputs
+  ServingOptions options_;
+  std::vector<double> latencies_us_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_SERVING_MODEL_SERVER_H_

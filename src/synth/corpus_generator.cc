@@ -1,0 +1,449 @@
+#include "synth/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+/// Knuth's Poisson sampler; fine for the small rates used here.
+int32_t SamplePoisson(Rng* rng, double lambda) {
+  CM_CHECK(lambda >= 0.0);
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  int32_t k = 0;
+  do {
+    ++k;
+    p *= rng->Uniform();
+  } while (p > limit && k < 1000);
+  return k - 1;
+}
+
+/// Samples k distinct values out of [0, vocab).
+std::vector<int32_t> SampleRiskySubset(uint64_t seed, int32_t vocab,
+                                       double fraction) {
+  const size_t k = std::max<size_t>(
+      3, static_cast<size_t>(std::lround(vocab * fraction)));
+  Rng rng(seed);
+  auto idx = rng.SampleWithoutReplacement(static_cast<size_t>(vocab),
+                                          std::min<size_t>(k, vocab));
+  std::vector<int32_t> out(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) out[i] = static_cast<int32_t>(idx[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Samples a risky subset disjoint from `exclude` (image-specific modes).
+std::vector<int32_t> SampleDisjointSubset(uint64_t seed, int32_t vocab,
+                                          double fraction,
+                                          const std::vector<int32_t>& exclude) {
+  const size_t k = std::max<size_t>(
+      3, static_cast<size_t>(std::lround(vocab * fraction)));
+  Rng rng(seed);
+  std::vector<int32_t> out;
+  size_t attempts = 0;
+  while (out.size() < k && attempts < 64 * k) {
+    ++attempts;
+    const int32_t v =
+        static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+    if (std::binary_search(exclude.begin(), exclude.end(), v)) continue;
+    if (std::find(out.begin(), out.end(), v) != out.end()) continue;
+    out.push_back(v);
+  }
+  if (out.empty()) out.push_back(0);  // degenerate vocab fallback
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<float> RandomUnitVector(Rng* rng, int dim) {
+  std::vector<float> v(dim);
+  double norm_sq = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    v[i] = static_cast<float>(rng->Normal());
+    norm_sq += static_cast<double>(v[i]) * v[i];
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-12)));
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+std::vector<std::vector<float>> ProjectionTable(uint64_t seed, int count,
+                                                int dim) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> table(count);
+  for (auto& row : table) row = RandomUnitVector(&rng, dim);
+  return table;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(const WorldConfig& world, const TaskSpec& task)
+    : world_(world), task_(task) {
+  const uint64_t s = task_.seed;
+  const double f = world_.risky_vocab_fraction;
+  risky_topics_ = SampleRiskySubset(DeriveSeed(s, "risky_topics"),
+                                    world_.num_topics, f);
+  risky_objects_ = SampleRiskySubset(DeriveSeed(s, "risky_objects"),
+                                     world_.num_objects, f);
+  risky_keywords_ = SampleRiskySubset(DeriveSeed(s, "risky_keywords"),
+                                      world_.num_keywords, f);
+  risky_url_cats_ = SampleRiskySubset(DeriveSeed(s, "risky_url_cats"),
+                                      world_.num_url_categories, f);
+  risky_page_cats_ = SampleRiskySubset(DeriveSeed(s, "risky_page_cats"),
+                                       world_.num_page_categories, f);
+  risky_domains_ = SampleRiskySubset(DeriveSeed(s, "risky_domains"),
+                                     world_.num_domains, f);
+  risky_kg_ = SampleRiskySubset(DeriveSeed(s, "risky_kg"),
+                                world_.num_kg_entities, f);
+  // Image-specific violation modes, disjoint from the shared subsets.
+  image_risky_topics_ = SampleDisjointSubset(
+      DeriveSeed(s, "img_risky_topics"), world_.num_topics, f, risky_topics_);
+  image_risky_objects_ =
+      SampleDisjointSubset(DeriveSeed(s, "img_risky_objects"),
+                           world_.num_objects, f, risky_objects_);
+  image_risky_keywords_ =
+      SampleDisjointSubset(DeriveSeed(s, "img_risky_keywords"),
+                           world_.num_keywords, f, risky_keywords_);
+  image_risky_kg_ = SampleDisjointSubset(DeriveSeed(s, "img_risky_kg"),
+                                         world_.num_kg_entities, f, risky_kg_);
+  image_risky_page_cats_ =
+      SampleDisjointSubset(DeriveSeed(s, "img_risky_pages"),
+                           world_.num_page_categories, f, risky_page_cats_);
+  image_risky_url_cats_ =
+      SampleDisjointSubset(DeriveSeed(s, "img_risky_urls"),
+                           world_.num_url_categories, f, risky_url_cats_);
+  image_risky_domains_ =
+      SampleDisjointSubset(DeriveSeed(s, "img_risky_domains"),
+                           world_.num_domains, f, risky_domains_);
+
+  topic_proj_ = ProjectionTable(DeriveSeed(s, "proj_topic"),
+                                world_.num_topics, world_.semantic_dim);
+  object_proj_ = ProjectionTable(DeriveSeed(s, "proj_object"),
+                                 world_.num_objects, world_.semantic_dim);
+  keyword_proj_ = ProjectionTable(DeriveSeed(s, "proj_keyword"),
+                                  world_.num_keywords, world_.semantic_dim);
+  Rng dir_rng(DeriveSeed(s, "proj_dirs"));
+  intensity_dir_ = RandomUnitVector(&dir_rng, world_.semantic_dim);
+  risk_dir_ = RandomUnitVector(&dir_rng, world_.semantic_dim);
+
+  // Cumulative Zipf(1.1) weights, sized to the largest vocabulary.
+  const int32_t max_vocab =
+      std::max({world_.num_topics, world_.num_objects, world_.num_keywords,
+                world_.num_page_categories, world_.num_url_categories,
+                world_.num_domains, world_.num_kg_entities});
+  zipf_cache_.resize(static_cast<size_t>(max_vocab));
+  double cum = 0.0;
+  for (int32_t r = 0; r < max_vocab; ++r) {
+    cum += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
+    zipf_cache_[static_cast<size_t>(r)] = cum;
+  }
+  image_rotation_ = static_cast<int32_t>(
+      std::lround(task_.modality_shift * max_vocab / 3.0));
+}
+
+int32_t CorpusGenerator::DrawBackground(int32_t vocab, Modality m,
+                                        Rng* rng) const {
+  CM_CHECK(vocab > 0 && static_cast<size_t>(vocab) <= zipf_cache_.size());
+  const double total = zipf_cache_[static_cast<size_t>(vocab - 1)];
+  const double r = rng->Uniform() * total;
+  const auto it = std::lower_bound(zipf_cache_.begin(),
+                                   zipf_cache_.begin() + vocab, r);
+  int32_t rank = static_cast<int32_t>(it - zipf_cache_.begin());
+  if (rank >= vocab) rank = vocab - 1;
+  if (m != Modality::kText) {
+    // Covariate shift: image/video backgrounds follow a rotated popularity
+    // order over the same vocabulary.
+    rank = (rank + image_rotation_) % vocab;
+  }
+  return rank;
+}
+
+int32_t CorpusGenerator::DrawRisky(const std::vector<int32_t>& risky,
+                                   Rng* rng) const {
+  CM_CHECK(!risky.empty());
+  return risky[rng->UniformInt(risky.size())];
+}
+
+namespace {
+/// Concentrated draw over a risky subset (Zipf s=2): blatant positives pile
+/// onto the head items, which is what makes them minable.
+int32_t DrawRiskyConcentrated(const std::vector<int32_t>& risky, Rng* rng) {
+  std::vector<double> w(risky.size());
+  for (size_t i = 0; i < risky.size(); ++i) {
+    w[i] = 1.0 / ((i + 1.0) * (i + 1.0));
+  }
+  return risky[rng->Categorical(w)];
+}
+}  // namespace
+
+double CorpusGenerator::Signal(double base, Modality m) const {
+  if (m == Modality::kText) return base;
+  return base * (1.0 - task_.image_signal_damp);
+}
+
+void CorpusGenerator::FillLatent(LatentEntity* latent, Modality m,
+                                 bool positive, Rng* rng) const {
+  const TaskSpec& t = task_;
+
+  // Intensity first: it decides whether a positive is blatant or borderline.
+  if (positive) {
+    latent->intensity = rng->Bernoulli(t.easy_pos_frac)
+                            ? rng->Uniform(0.65, 1.0)
+                            : rng->Uniform(0.05, 0.45);
+  } else {
+    latent->intensity = rng->Uniform(0.0, 0.30);
+  }
+  const bool blatant = positive && latent->intensity > 0.6;
+
+  // Modality gap: a fraction of image positives express image-specific
+  // violation modes a text model has never seen; image negatives'
+  // contamination also touches both pools.
+  const bool shared_mode =
+      m == Modality::kText ||
+      rng->Bernoulli(positive ? t.risky_overlap : 0.5);
+  const auto& r_topics = shared_mode ? risky_topics_ : image_risky_topics_;
+  const auto& r_objects = shared_mode ? risky_objects_ : image_risky_objects_;
+  const auto& r_keywords =
+      shared_mode ? risky_keywords_ : image_risky_keywords_;
+  const auto& r_kg = shared_mode ? risky_kg_ : image_risky_kg_;
+  const auto& r_pages =
+      shared_mode ? risky_page_cats_ : image_risky_page_cats_;
+  const auto& r_urls = shared_mode ? risky_url_cats_ : image_risky_url_cats_;
+  const auto& r_domains =
+      shared_mode ? risky_domains_ : image_risky_domains_;
+
+  auto draw_risky = [&](const std::vector<int32_t>& risky) {
+    return blatant ? DrawRiskyConcentrated(risky, rng) : DrawRisky(risky, rng);
+  };
+
+  // Topic channel.
+  if (positive && rng->Bernoulli(Signal(t.topic_signal, m))) {
+    latent->topic = draw_risky(r_topics);
+  } else if (!positive && rng->Bernoulli(t.contamination)) {
+    latent->topic = DrawRisky(r_topics, rng);
+  } else {
+    latent->topic = DrawBackground(world_.num_topics, m, rng);
+  }
+
+  // Objects channel.
+  const int n_obj = 1 + rng->GeometricCount(0.55, 4);
+  latent->objects.clear();
+  for (int i = 0; i < n_obj; ++i) {
+    if (positive && rng->Bernoulli(Signal(t.object_signal, m) * 0.75)) {
+      latent->objects.push_back(draw_risky(r_objects));
+    } else if (!positive && rng->Bernoulli(t.contamination)) {
+      latent->objects.push_back(DrawRisky(r_objects, rng));
+    } else {
+      latent->objects.push_back(DrawBackground(world_.num_objects, m, rng));
+    }
+  }
+
+  // Keywords channel.
+  const int n_kw = 2 + rng->GeometricCount(0.6, 4);
+  latent->keywords.clear();
+  for (int i = 0; i < n_kw; ++i) {
+    if (positive && rng->Bernoulli(Signal(t.keyword_signal, m) * 0.7)) {
+      latent->keywords.push_back(draw_risky(r_keywords));
+    } else if (!positive && rng->Bernoulli(t.contamination)) {
+      latent->keywords.push_back(DrawRisky(r_keywords, rng));
+    } else {
+      latent->keywords.push_back(DrawBackground(world_.num_keywords, m, rng));
+    }
+  }
+
+  // Knowledge-graph entities (page-content channel).
+  const int n_kg = 1 + rng->GeometricCount(0.5, 2);
+  latent->kg_entities.clear();
+  for (int i = 0; i < n_kg; ++i) {
+    if (positive && rng->Bernoulli(Signal(t.page_signal, m) * 0.6)) {
+      latent->kg_entities.push_back(draw_risky(r_kg));
+    } else if (!positive && rng->Bernoulli(t.contamination)) {
+      latent->kg_entities.push_back(DrawRisky(r_kg, rng));
+    } else {
+      latent->kg_entities.push_back(
+          DrawBackground(world_.num_kg_entities, m, rng));
+    }
+  }
+
+  // Page category.
+  if (positive && rng->Bernoulli(Signal(t.page_signal, m))) {
+    latent->page_category = draw_risky(r_pages);
+  } else if (!positive && rng->Bernoulli(t.contamination)) {
+    latent->page_category = DrawRisky(r_pages, rng);
+  } else {
+    latent->page_category =
+        DrawBackground(world_.num_page_categories, m, rng);
+  }
+
+  // URL channel: category + domain + riskiness move together.
+  const bool risky_url = positive && rng->Bernoulli(Signal(t.url_signal, m));
+  if (risky_url) {
+    latent->url_category = draw_risky(r_urls);
+    latent->domain = rng->Bernoulli(0.8)
+                         ? DrawRisky(r_domains, rng)
+                         : DrawBackground(world_.num_domains, m, rng);
+  } else if (!positive && rng->Bernoulli(t.contamination)) {
+    latent->url_category = DrawRisky(r_urls, rng);
+    latent->domain = DrawBackground(world_.num_domains, m, rng);
+  } else {
+    latent->url_category =
+        DrawBackground(world_.num_url_categories, m, rng);
+    latent->domain = DrawBackground(world_.num_domains, m, rng);
+  }
+  latent->url_risk =
+      Clamp01(rng->Normal(risky_url ? 0.55 : 0.25, 0.18));
+
+  // Setting follows the topic most of the time; sentiment skews negative for
+  // positives.
+  latent->setting = rng->Bernoulli(0.8)
+                        ? latent->topic % world_.num_settings
+                        : static_cast<int32_t>(
+                              rng->UniformInt(world_.num_settings));
+  if (positive) {
+    latent->sentiment = static_cast<int32_t>(
+        rng->Categorical({0.45, 0.40, 0.15}));
+  } else {
+    latent->sentiment = static_cast<int32_t>(
+        rng->Categorical({0.20, 0.50, 0.30}));
+  }
+
+  // User-risk channel and the aggregate statistics derived from it.
+  const double shift_adj =
+      (m == Modality::kText) ? 0.0 : 0.04 * t.modality_shift;
+  const double risk_mean = positive
+                               ? 0.30 + 0.35 * Signal(t.user_signal, m)
+                               : 0.18 + shift_adj;
+  latent->user_risk = Clamp01(rng->Normal(risk_mean, 0.16));
+  latent->report_count = SamplePoisson(
+      rng, 0.4 + 5.0 * latent->user_risk + (positive ? 1.0 : 0.0));
+  latent->share_count = SamplePoisson(rng, 1.5 + 6.0 * latent->url_risk);
+
+  latent->semantic = ComputeSemantic(*latent);
+}
+
+std::vector<float> CorpusGenerator::ComputeSemantic(
+    const LatentEntity& latent) const {
+  const int d = world_.semantic_dim;
+  std::vector<float> s(d, 0.0f);
+  auto add = [&](const std::vector<float>& v, double w) {
+    for (int i = 0; i < d; ++i) s[i] += static_cast<float>(w) * v[i];
+  };
+  add(topic_proj_[static_cast<size_t>(latent.topic)], 1.0);
+  if (!latent.objects.empty()) {
+    const double w = 0.9 / latent.objects.size();
+    for (int32_t o : latent.objects) {
+      add(object_proj_[static_cast<size_t>(o)], w);
+    }
+  }
+  if (!latent.keywords.empty()) {
+    const double w = 0.7 / latent.keywords.size();
+    for (int32_t k : latent.keywords) {
+      add(keyword_proj_[static_cast<size_t>(k)], w);
+    }
+  }
+  add(intensity_dir_, 1.2 * task_.embedding_alignment * latent.intensity);
+  add(risk_dir_, 0.8 * task_.embedding_alignment * latent.user_risk);
+  double norm_sq = 0.0;
+  for (float x : s) norm_sq += static_cast<double>(x) * x;
+  const float inv =
+      static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-12)));
+  for (auto& x : s) x *= inv;
+  return s;
+}
+
+Entity CorpusGenerator::MakeEntity(Modality modality, bool positive,
+                                   EntityId id, int64_t timestamp,
+                                   Rng* rng) const {
+  Entity e;
+  e.id = id;
+  e.modality = modality;
+  e.label = positive ? 1 : 0;
+  e.timestamp = timestamp;
+  FillLatent(&e.latent, modality, positive, rng);
+  return e;
+}
+
+Entity CorpusGenerator::MakeVideoEntity(bool positive, EntityId id,
+                                        int64_t timestamp, int num_frames,
+                                        Rng* rng) const {
+  Entity e = MakeEntity(Modality::kVideo, positive, id, timestamp, rng);
+  e.frames.reserve(static_cast<size_t>(num_frames));
+  for (int f = 0; f < num_frames; ++f) {
+    LatentEntity frame = e.latent;
+    // Frames jitter around the video's semantics: topics drift occasionally,
+    // objects are re-observed subsets plus noise.
+    if (rng->Bernoulli(0.15)) {
+      frame.topic = DrawBackground(world_.num_topics, Modality::kVideo, rng);
+    }
+    std::vector<int32_t> objs;
+    for (int32_t o : e.latent.objects) {
+      if (rng->Bernoulli(0.7)) objs.push_back(o);
+    }
+    if (rng->Bernoulli(0.4)) {
+      objs.push_back(DrawBackground(world_.num_objects, Modality::kVideo, rng));
+    }
+    if (objs.empty()) objs = e.latent.objects;
+    frame.objects = std::move(objs);
+    frame.intensity = Clamp01(e.latent.intensity + rng->Normal(0.0, 0.08));
+    frame.semantic = ComputeSemantic(frame);
+    e.frames.push_back(std::move(frame));
+  }
+  return e;
+}
+
+Corpus CorpusGenerator::Generate() const {
+  Corpus corpus;
+  Rng rng(DeriveSeed(task_.seed, "corpus"));
+  EntityId next_id = 1;
+
+  auto make_split = [&](size_t n, Modality m, int64_t ts_lo, int64_t ts_hi,
+                        bool noisy_labels) {
+    std::vector<Entity> split;
+    split.reserve(n);
+    const size_t n_pos = static_cast<size_t>(std::lround(n * task_.pos_rate));
+    for (size_t i = 0; i < n; ++i) {
+      const bool positive = i < n_pos;
+      const int64_t ts = ts_lo + static_cast<int64_t>(rng.UniformInt(
+                                     static_cast<uint64_t>(ts_hi - ts_lo)));
+      Entity e = MakeEntity(m, positive, next_id++, ts, &rng);
+      if (noisy_labels && rng.Bernoulli(task_.label_noise)) {
+        e.label = static_cast<int8_t>(1 - e.label);
+      }
+      split.push_back(std::move(e));
+    }
+    // Shuffle so class is not order-correlated.
+    const auto perm = rng.Permutation(split.size());
+    std::vector<Entity> shuffled;
+    shuffled.reserve(split.size());
+    for (size_t p : perm) shuffled.push_back(std::move(split[p]));
+    return shuffled;
+  };
+
+  // Labeled data (text, supervised image pool, test set) predates the time
+  // split; unlabeled image data is sampled from live traffic after it (§6.1).
+  corpus.text_labeled =
+      make_split(task_.n_text_labeled, Modality::kText, 0, 1000, true);
+  corpus.image_labeled_pool =
+      make_split(task_.n_image_pool, Modality::kImage, 0, 1000, false);
+  corpus.image_test =
+      make_split(task_.n_image_test, Modality::kImage, 0, 1000, false);
+  corpus.image_unlabeled =
+      make_split(task_.n_image_unlabeled, Modality::kImage, 1000, 2000, false);
+  return corpus;
+}
+
+double PositiveRate(const std::vector<Entity>& entities) {
+  if (entities.empty()) return 0.0;
+  size_t pos = 0;
+  for (const auto& e : entities) {
+    if (e.label == 1) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(entities.size());
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,106 @@
+// CorpusGenerator: draws deterministic synthetic task corpora.
+//
+// Generative story (per entity): draw the ground-truth label y from the
+// task's positive rate, then draw latent semantics conditioned on y with
+// task-specific channel signal strengths. Positives split into "blatant"
+// (high intensity — trip rule flags and concentrated itemsets) and
+// "borderline" (low intensity — share semantics with blatant positives but
+// carry no flags, reachable via embedding similarity / label propagation).
+// Image corpora are drawn under a rotated background prior and dampened
+// signals, producing the paper's cross-modality distribution shift (§6.6).
+
+#ifndef CROSSMODAL_SYNTH_CORPUS_GENERATOR_H_
+#define CROSSMODAL_SYNTH_CORPUS_GENERATOR_H_
+
+#include <vector>
+
+#include "synth/entity.h"
+#include "synth/task_spec.h"
+#include "synth/world_config.h"
+#include "util/random.h"
+
+namespace crossmodal {
+
+/// Deterministic generator for one task's corpus. All draws derive from
+/// TaskSpec::seed; two generators with equal configs produce identical
+/// corpora.
+class CorpusGenerator {
+ public:
+  CorpusGenerator(const WorldConfig& world, const TaskSpec& task);
+
+  /// Generates the full corpus (Table 1 splits). Labeled text carries human
+  /// labels (ground truth flipped with probability label_noise); image
+  /// entities carry exact ground truth, which the pipeline may consult only
+  /// for supervised pools and test evaluation.
+  Corpus Generate() const;
+
+  /// Draws one entity of the given modality and class. Exposed for tests,
+  /// examples, and streaming scenarios.
+  Entity MakeEntity(Modality modality, bool positive, EntityId id,
+                    int64_t timestamp, Rng* rng) const;
+
+  /// Draws a video entity: base latents plus `num_frames` per-frame latents
+  /// jittered from the base (consumed by the frame-splitter service).
+  Entity MakeVideoEntity(bool positive, EntityId id, int64_t timestamp,
+                         int num_frames, Rng* rng) const;
+
+  /// The task-specific risky vocabulary subsets (exposed so "domain expert"
+  /// baselines in benches can write rules against true semantics).
+  const std::vector<int32_t>& risky_topics() const { return risky_topics_; }
+  const std::vector<int32_t>& risky_objects() const { return risky_objects_; }
+  const std::vector<int32_t>& risky_keywords() const {
+    return risky_keywords_;
+  }
+  const std::vector<int32_t>& risky_url_categories() const {
+    return risky_url_cats_;
+  }
+  const std::vector<int32_t>& risky_page_categories() const {
+    return risky_page_cats_;
+  }
+  const std::vector<int32_t>& risky_kg_entities() const { return risky_kg_; }
+
+  const WorldConfig& world() const { return world_; }
+  const TaskSpec& task() const { return task_; }
+
+ private:
+  /// Samples from a vocabulary under a Zipf background prior; image
+  /// modalities use a rotated order (covariate shift).
+  int32_t DrawBackground(int32_t vocab, Modality m, Rng* rng) const;
+
+  /// Samples from a risky subset under a concentrated (Zipf) prior.
+  int32_t DrawRisky(const std::vector<int32_t>& risky, Rng* rng) const;
+
+  /// Effective channel signal for a modality (image channels dampened).
+  double Signal(double base, Modality m) const;
+
+  void FillLatent(LatentEntity* latent, Modality m, bool positive,
+                  Rng* rng) const;
+
+  /// Computes the latent semantic vector from the discrete latents.
+  std::vector<float> ComputeSemantic(const LatentEntity& latent) const;
+
+  WorldConfig world_;
+  TaskSpec task_;
+
+  std::vector<int32_t> risky_topics_, risky_objects_, risky_keywords_;
+  std::vector<int32_t> risky_url_cats_, risky_page_cats_, risky_domains_;
+  std::vector<int32_t> risky_kg_;
+  // Image-specific violation modes (drawn for the 1 - risky_overlap
+  // fraction of image positives).
+  std::vector<int32_t> image_risky_topics_, image_risky_objects_,
+      image_risky_keywords_, image_risky_kg_, image_risky_page_cats_,
+      image_risky_url_cats_, image_risky_domains_;
+
+  // Fixed random projection tables for the semantic vector.
+  std::vector<std::vector<float>> topic_proj_, object_proj_, keyword_proj_;
+  std::vector<float> intensity_dir_, risk_dir_;
+
+  // Zipf background weights (natural order for text; rotation applied for
+  // image at draw time).
+  std::vector<double> zipf_cache_;
+  int32_t image_rotation_ = 0;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_SYNTH_CORPUS_GENERATOR_H_

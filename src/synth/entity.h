@@ -1,0 +1,73 @@
+// Entity and its latent semantics; the unit of data flowing through the
+// cross-modal pipeline.
+
+#ifndef CROSSMODAL_SYNTH_ENTITY_H_
+#define CROSSMODAL_SYNTH_ENTITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "features/modality.h"
+
+namespace crossmodal {
+
+/// Hidden semantics of an entity. Organizational-resource services observe
+/// these fields through noisy, modality-dependent channels; pipeline code
+/// never reads them directly (they model the real world, not features).
+struct LatentEntity {
+  int32_t topic = 0;                  ///< Primary content topic.
+  std::vector<int32_t> objects;       ///< Objects depicted/described.
+  std::vector<int32_t> keywords;      ///< Keyword metadata.
+  std::vector<int32_t> kg_entities;   ///< Knowledge-graph entities involved.
+  int32_t page_category = 0;          ///< Category of the linked page.
+  int32_t url_category = 0;           ///< URL categorization.
+  int32_t domain = 0;                 ///< Linked domain.
+  int32_t setting = 0;                ///< Scene/setting.
+  int32_t sentiment = 1;              ///< 0=neg, 1=neutral, 2=pos.
+  double user_risk = 0.0;             ///< Posting user's violation propensity.
+  double url_risk = 0.0;              ///< Linked page riskiness.
+  double intensity = 0.0;             ///< How blatant the content is, in
+                                      ///< [0,1]; drives easy-vs-borderline.
+  int32_t report_count = 0;           ///< Times the user has been reported.
+  int32_t share_count = 0;            ///< Times the post has been shared.
+  std::vector<float> semantic;        ///< Derived semantic vector (feeds the
+                                      ///< pre-trained embedding services).
+};
+
+/// A data point of some modality. `label` is the hidden ground truth; the
+/// pipeline may only consume it where the paper's setting legitimately has
+/// labels (old-modality training data, supervised pools, test evaluation).
+struct Entity {
+  EntityId id = 0;
+  Modality modality = Modality::kText;
+  int8_t label = 0;       ///< Ground truth: 1 positive, 0 negative.
+  int64_t timestamp = 0;  ///< Creation time; labeled data predates unlabeled.
+  LatentEntity latent;
+  /// For video entities: per-frame latents (frame-splitter service output).
+  std::vector<LatentEntity> frames;
+};
+
+/// A generated task corpus, split exactly as in §6.1: labeled data of the
+/// old modality (text), unlabeled live traffic of the new modality (image),
+/// a hand-labeled pool for fully-supervised baselines/sweeps, and a held-out
+/// labeled test set (sampled before/after a time split so there is no
+/// train-test leakage).
+struct Corpus {
+  std::vector<Entity> text_labeled;
+  std::vector<Entity> image_unlabeled;
+  std::vector<Entity> image_labeled_pool;
+  std::vector<Entity> image_test;
+
+  size_t TotalSize() const {
+    return text_labeled.size() + image_unlabeled.size() +
+           image_labeled_pool.size() + image_test.size();
+  }
+};
+
+/// Positive rate of a set of entities.
+double PositiveRate(const std::vector<Entity>& entities);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_SYNTH_ENTITY_H_

@@ -1,0 +1,39 @@
+// WorldConfig: fixed vocabularies of the synthetic organizational world.
+//
+// The synthetic world replaces Google's closed corpora (DESIGN.md §1). Every
+// entity — regardless of modality — carries latent semantics drawn from these
+// vocabularies; organizational-resource services observe the latents through
+// modality-dependent noisy channels.
+
+#ifndef CROSSMODAL_SYNTH_WORLD_CONFIG_H_
+#define CROSSMODAL_SYNTH_WORLD_CONFIG_H_
+
+#include <cstdint>
+
+namespace crossmodal {
+
+/// Sizes of the latent vocabularies and embedding spaces. The defaults are
+/// scaled to laptop-size corpora while keeping vocabularies "up to several
+/// thousand categories" in spirit (§6.2) — large enough that one-hot spaces
+/// dominate model input dimensionality, as in the paper.
+struct WorldConfig {
+  int32_t num_topics = 32;           ///< Topic-model vocabulary.
+  int32_t num_objects = 48;          ///< Object-detector vocabulary.
+  int32_t num_keywords = 64;         ///< Keyword-metadata vocabulary.
+  int32_t num_page_categories = 24;  ///< Page-content categorization.
+  int32_t num_url_categories = 16;   ///< URL categorization.
+  int32_t num_domains = 40;          ///< Linked-domain vocabulary.
+  int32_t num_kg_entities = 56;      ///< Knowledge-graph entity vocabulary.
+  int32_t num_settings = 8;          ///< Scene/setting classifier vocabulary.
+  int32_t num_sentiments = 3;        ///< negative / neutral / positive.
+  int32_t embedding_dim = 16;        ///< Pre-trained embedding dimension.
+  int32_t semantic_dim = 12;         ///< Latent semantic vector dimension.
+
+  /// Fraction of each vocabulary that is "risky" for some task (risky
+  /// subsets are drawn per task from this budget).
+  double risky_vocab_fraction = 0.15;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_SYNTH_WORLD_CONFIG_H_

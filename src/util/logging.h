@@ -1,0 +1,75 @@
+// Minimal leveled logging and check macros.
+
+#ifndef CROSSMODAL_UTIL_LOGGING_H_
+#define CROSSMODAL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace crossmodal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed. Defaults to Info.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process on destruction (for CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crossmodal
+
+#define CM_LOG(level)                                              \
+  ::crossmodal::internal::LogMessage(::crossmodal::LogLevel::k##level, \
+                                     __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build modes:
+/// these guard internal invariants whose violation means memory-unsafe
+/// continuation, the RocksDB assert-in-release idiom for cheap checks.
+#define CM_CHECK(cond)                                                   \
+  if (!(cond))                                                           \
+  ::crossmodal::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define CM_CHECK_OK(expr)                                   \
+  do {                                                      \
+    ::crossmodal::Status _cm_st = (expr);                   \
+    CM_CHECK(_cm_st.ok()) << _cm_st.ToString();             \
+  } while (false)
+
+#endif  // CROSSMODAL_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+// Result<T>: a value or a Status, in the Arrow arrow::Result style.
+
+#ifndef CROSSMODAL_UTIL_RESULT_H_
+#define CROSSMODAL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace crossmodal {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed. Accessing the value of a failed Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a successful result (implicit, to allow `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result (implicit, to allow `return status;`).
+  /// `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors for the contained value; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace crossmodal
+
+#define CM_CONCAT_IMPL(a, b) a##b
+#define CM_CONCAT(a, b) CM_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on failure returns its Status, on
+/// success assigns the value to `lhs` (which may be a declaration).
+#define CM_ASSIGN_OR_RETURN(lhs, expr)                        \
+  CM_ASSIGN_OR_RETURN_IMPL(CM_CONCAT(_cm_result_, __LINE__), lhs, expr)
+
+#define CM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#endif  // CROSSMODAL_UTIL_RESULT_H_

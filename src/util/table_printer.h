@@ -1,0 +1,38 @@
+// Fixed-width ASCII table printing for benchmark harness output.
+
+#ifndef CROSSMODAL_UTIL_TABLE_PRINTER_H_
+#define CROSSMODAL_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crossmodal {
+
+/// Collects rows of string cells and renders them as an aligned ASCII table
+/// (the format every bench binary uses to report paper rows/series).
+class TablePrinter {
+ public:
+  /// Sets the header row; column count of subsequent rows must match.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to `os` with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with the given precision (helper for cells).
+  static std::string Num(double v, int precision = 3);
+
+  /// Formats a multiplicative factor, e.g. "1.52x".
+  static std::string Factor(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,58 @@
+// Fixed-size thread pool used by the dataflow executor and batch trainers.
+
+#ifndef CROSSMODAL_UTIL_THREAD_POOL_H_
+#define CROSSMODAL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crossmodal {
+
+/// A fixed pool of worker threads executing submitted closures FIFO.
+///
+/// Thread-safe. Destruction drains the queue (all submitted work completes)
+/// before joining workers.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task. May be called from worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far (including tasks they spawn)
+  /// has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Work is chunked to limit scheduling overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for benches and pipeline stage timing.
+
+#ifndef CROSSMODAL_UTIL_TIMER_H_
+#define CROSSMODAL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace crossmodal {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_UTIL_TIMER_H_

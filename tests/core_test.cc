@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "resources/frame_splitter.h"
+#include "synth/corpus_generator.h"
+
+namespace crossmodal {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : generator_(world_, TaskSpec::CT(2).Scaled(0.08)),
+        corpus_(generator_.Generate()) {
+    auto registry = BuildModerationRegistry(generator_, 31);
+    CM_CHECK(registry.ok());
+    registry_ =
+        std::make_unique<ResourceRegistry>(std::move(registry).value());
+    config_.model.hidden = {16};
+    config_.model.train.epochs = 6;
+    config_.curation.dev_sample = 1500;
+    config_.curation.graph_seed_sample = 800;
+    config_.curation.graph_tune_sample = 300;
+  }
+
+  WorldConfig world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+  std::unique_ptr<ResourceRegistry> registry_;
+  PipelineConfig config_;
+};
+
+// ---------- Feature selection -----------------------------------------------
+
+TEST_F(PipelineTest, FeatureSelectionRespectsServability) {
+  FeatureSelectionOptions options;
+  auto sel = SelectFeatures(registry_->schema(), options);
+  ASSERT_TRUE(sel.ok());
+  // End-model features exclude the nonservable risk score.
+  auto risk = registry_->schema().Find("content_risk_score");
+  ASSERT_TRUE(risk.ok());
+  for (FeatureId f : sel->text_model_features) EXPECT_NE(f, *risk);
+  for (FeatureId f : sel->image_model_features) EXPECT_NE(f, *risk);
+  // ...but LFs may use it.
+  bool lf_has_risk = false;
+  for (FeatureId f : sel->lf_features) lf_has_risk |= (f == *risk);
+  EXPECT_TRUE(lf_has_risk);
+}
+
+TEST_F(PipelineTest, FeatureSelectionImageChannelHasEmbedding) {
+  FeatureSelectionOptions options;
+  auto sel = SelectFeatures(registry_->schema(), options);
+  ASSERT_TRUE(sel.ok());
+  auto emb = registry_->schema().Find("proprietary_embedding");
+  ASSERT_TRUE(emb.ok());
+  bool image_has = false, text_has = false;
+  for (FeatureId f : sel->image_model_features) image_has |= (f == *emb);
+  for (FeatureId f : sel->text_model_features) text_has |= (f == *emb);
+  EXPECT_TRUE(image_has);
+  EXPECT_FALSE(text_has);
+  // Graph features include the embedding too (§4.4).
+  bool graph_has = false;
+  for (FeatureId f : sel->graph_features) graph_has |= (f == *emb);
+  EXPECT_TRUE(graph_has);
+}
+
+TEST_F(PipelineTest, FeatureSelectionSubsets) {
+  FeatureSelectionOptions options;
+  options.text_sets = {ServiceSet::kA};
+  options.image_sets = {ServiceSet::kA, ServiceSet::kB};
+  options.image_embedding_features = {};
+  options.include_image_quality = false;
+  auto sel = SelectFeatures(registry_->schema(), options);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->text_model_features.size(), 3u);   // set A
+  EXPECT_EQ(sel->image_model_features.size(), 5u);  // sets A+B
+}
+
+TEST_F(PipelineTest, FeatureSelectionUnknownEmbeddingFails) {
+  FeatureSelectionOptions options;
+  options.image_embedding_features = {"no_such_embedding"};
+  EXPECT_EQ(SelectFeatures(registry_->schema(), options).status().code(),
+            StatusCode::kNotFound);
+}
+
+
+TEST_F(PipelineTest, FeatureSelectionExcludesVetoedFeatures) {
+  auto topic = registry_->schema().Find("topic_primary");
+  ASSERT_TRUE(topic.ok());
+  FeatureSelectionOptions options;
+  options.excluded_features = {*topic};
+  auto sel = SelectFeatures(registry_->schema(), options);
+  ASSERT_TRUE(sel.ok());
+  for (FeatureId f : sel->text_model_features) EXPECT_NE(f, *topic);
+  for (FeatureId f : sel->image_model_features) EXPECT_NE(f, *topic);
+  for (FeatureId f : sel->lf_features) EXPECT_NE(f, *topic);
+  for (FeatureId f : sel->graph_features) EXPECT_NE(f, *topic);
+}
+
+// ---------- Pipeline end-to-end ---------------------------------------------
+
+TEST_F(PipelineTest, RunsEndToEnd) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->curation.lfs.size(), 1u);
+  EXPECT_TRUE(result->curation.used_label_propagation);
+  EXPECT_GT(result->curation.lf_total_coverage, 0.3);
+  EXPECT_GT(result->report.n_text_train, 0u);
+  EXPECT_GT(result->report.n_ws_train, 0u);
+  EXPECT_EQ(result->curation.weak_labels.size(),
+            corpus_.image_unlabeled.size());
+
+  const EvalResult eval =
+      EvaluateModel(*result->model, corpus_.image_test, pipeline.store());
+  // CT2 is easy: the cross-modal model must beat chance decisively.
+  EXPECT_GT(eval.auprc, 3.0 * TaskSpec::CT(2).pos_rate);
+  EXPECT_GT(eval.roc_auc, 0.7);
+}
+
+TEST_F(PipelineTest, WeakLabelsAgreeWithGroundTruth) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto curation = pipeline.CurateTrainingData();
+  ASSERT_TRUE(curation.ok()) << curation.status();
+  // Index ground truth.
+  std::unordered_map<EntityId, int> truth;
+  for (const Entity& e : corpus_.image_unlabeled) {
+    truth[e.id] = e.label == 1 ? 1 : 0;
+  }
+  size_t covered = 0, correct = 0;
+  for (const auto& label : curation->weak_labels) {
+    if (!label.covered) continue;
+    ++covered;
+    correct += ((label.p_positive >= 0.5 ? 1 : 0) == truth.at(label.entity));
+  }
+  ASSERT_GT(covered, 100u);
+  EXPECT_GT(static_cast<double>(correct) / covered, 0.85);
+}
+
+TEST_F(PipelineTest, LabelPropagationCanBeDisabled) {
+  config_.curation.use_label_propagation = false;
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto curation = pipeline.CurateTrainingData();
+  ASSERT_TRUE(curation.ok()) << curation.status();
+  EXPECT_FALSE(curation->used_label_propagation);
+  for (const auto& lf : curation->lfs) {
+    EXPECT_NE(lf->name(), "label_propagation");
+  }
+}
+
+TEST_F(PipelineTest, GenerateFeatureSpaceIdempotent) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  ASSERT_TRUE(pipeline.GenerateFeatureSpace().ok());
+  const size_t size1 = pipeline.store().size();
+  ASSERT_TRUE(pipeline.GenerateFeatureSpace().ok());
+  EXPECT_EQ(pipeline.store().size(), size1);
+  EXPECT_EQ(size1, corpus_.TotalSize());
+}
+
+TEST_F(PipelineTest, TrainingCapsRespected) {
+  config_.max_text_points = 500;
+  config_.max_ws_points = 300;
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.n_text_train, 500u);
+  EXPECT_LE(result->report.n_ws_train, 300u);
+}
+
+TEST_F(PipelineTest, ScoreTestSetMatchesEvaluate) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok());
+  const auto scores = pipeline.ScoreTestSet(*result->model);
+  ASSERT_EQ(scores.size(), corpus_.image_test.size());
+  const EvalResult from_scores = EvaluateScores(scores, corpus_.image_test);
+  const EvalResult direct =
+      EvaluateModel(*result->model, corpus_.image_test, pipeline.store());
+  EXPECT_DOUBLE_EQ(from_scores.auprc, direct.auprc);
+}
+
+
+TEST_F(PipelineTest, DeterministicEndToEnd) {
+  // Two pipelines with identical config over the same corpus must produce
+  // bit-identical test scores (the library's reproducibility contract).
+  CrossModalPipeline p1(registry_.get(), &corpus_, config_);
+  CrossModalPipeline p2(registry_.get(), &corpus_, config_);
+  auto r1 = p1.Run();
+  auto r2 = p2.Run();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  const auto s1 = p1.ScoreTestSet(*r1->model);
+  const auto s2 = p2.ScoreTestSet(*r2->model);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+}
+
+TEST_F(PipelineTest, VideoScoringViaFrameAggregation) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok());
+  // Build a handful of videos, featurize frame-by-frame, pool, score.
+  VideoFrameSplitter splitter(4);
+  Rng rng(17);
+  std::vector<double> scores;
+  std::vector<Entity> videos;
+  for (int i = 0; i < 60; ++i) {
+    const bool positive = i < 12;
+    Entity video = generator_.MakeVideoEntity(positive, 9000000 + i, 2000,
+                                              6, &rng);
+    auto frames = splitter.Split(video);
+    ASSERT_TRUE(frames.ok());
+    std::vector<FeatureVector> rows;
+    for (const Entity& f : *frames) {
+      rows.push_back(registry_->GenerateFeatures(f));
+    }
+    scores.push_back(result->model->Score(
+        AggregateFrameRows(rows, registry_->schema())));
+    videos.push_back(std::move(video));
+  }
+  const EvalResult eval = EvaluateScores(scores, videos);
+  // 20% positives; the transferred model must beat chance.
+  EXPECT_GT(eval.auprc, 0.3);
+}
+
+TEST_F(PipelineTest, EnsembleConfigPropagates) {
+  config_.model.ensemble_size = 2;
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok());
+  const EvalResult eval =
+      EvaluateModel(*result->model, corpus_.image_test, pipeline.store());
+  EXPECT_GT(eval.auprc, 2.0 * TaskSpec::CT(2).pos_rate);
+}
+
+// ---------- Baselines -------------------------------------------------------
+
+TEST_F(PipelineTest, FullySupervisedBaselineImprovesWithBudget) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  ASSERT_TRUE(pipeline.GenerateFeatureSpace().ok());
+  const auto& sel = pipeline.selection();
+  ModelSpec spec = config_.model;
+  auto tiny = TrainFullySupervisedImage(corpus_, pipeline.store(),
+                                        sel.image_model_features, 60, spec);
+  auto big = TrainFullySupervisedImage(corpus_, pipeline.store(),
+                                       sel.image_model_features, 0, spec);
+  ASSERT_TRUE(tiny.ok() && big.ok());
+  const double auprc_tiny =
+      EvaluateModel(**tiny, corpus_.image_test, pipeline.store()).auprc;
+  const double auprc_big =
+      EvaluateModel(**big, corpus_.image_test, pipeline.store()).auprc;
+  EXPECT_GT(auprc_big, auprc_tiny);
+}
+
+TEST_F(PipelineTest, TextOnlyBaselineRuns) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  ASSERT_TRUE(pipeline.GenerateFeatureSpace().ok());
+  auto model = TrainTextOnly(corpus_, pipeline.store(),
+                             pipeline.selection().text_model_features,
+                             config_.model);
+  ASSERT_TRUE(model.ok());
+  const EvalResult eval =
+      EvaluateModel(**model, corpus_.image_test, pipeline.store());
+  EXPECT_GT(eval.auprc, TaskSpec::CT(2).pos_rate);  // transfers some signal
+}
+
+TEST_F(PipelineTest, ImageOnlyWeakBaselineRuns) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto curation = pipeline.CurateTrainingData();
+  ASSERT_TRUE(curation.ok());
+  auto model = TrainImageOnlyWeak(curation->weak_labels, pipeline.store(),
+                                  pipeline.selection().image_model_features,
+                                  config_.model);
+  ASSERT_TRUE(model.ok());
+  const EvalResult eval =
+      EvaluateModel(**model, corpus_.image_test, pipeline.store());
+  EXPECT_GT(eval.auprc, 2.0 * TaskSpec::CT(2).pos_rate);
+}
+
+TEST_F(PipelineTest, BaselineErrorsOnEmptyInputs) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  ASSERT_TRUE(pipeline.GenerateFeatureSpace().ok());
+  Corpus empty;
+  EXPECT_FALSE(TrainFullySupervisedImage(empty, pipeline.store(), {0}, 0,
+                                         config_.model)
+                   .ok());
+  EXPECT_FALSE(TrainTextOnly(empty, pipeline.store(), {0}, config_.model)
+                   .ok());
+  EXPECT_FALSE(TrainImageOnlyWeak({}, pipeline.store(), {0}, config_.model)
+                   .ok());
+}
+
+// ---------- Evaluation ------------------------------------------------------
+
+TEST(EvaluationTest, PerfectScoresGivePerfectMetrics) {
+  std::vector<Entity> entities(4);
+  for (size_t i = 0; i < 4; ++i) {
+    entities[i].id = i + 1;
+    entities[i].label = i < 2 ? 1 : 0;
+  }
+  const EvalResult r = EvaluateScores({0.9, 0.8, 0.1, 0.2}, entities);
+  EXPECT_DOUBLE_EQ(r.auprc, 1.0);
+  EXPECT_DOUBLE_EQ(r.roc_auc, 1.0);
+  EXPECT_EQ(r.n, 4u);
+  EXPECT_EQ(r.n_pos, 2u);
+}
+
+}  // namespace
+}  // namespace crossmodal

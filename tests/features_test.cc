@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "features/feature_schema.h"
+#include "features/feature_value.h"
+#include "features/feature_vector.h"
+
+namespace crossmodal {
+namespace {
+
+// ---------- FeatureValue ----------------------------------------------------
+
+TEST(FeatureValueTest, DefaultIsMissing) {
+  FeatureValue v;
+  EXPECT_TRUE(v.is_missing());
+  EXPECT_EQ(v, FeatureValue::Missing());
+}
+
+TEST(FeatureValueTest, NumericRoundTrip) {
+  const FeatureValue v = FeatureValue::Numeric(2.5);
+  EXPECT_FALSE(v.is_missing());
+  EXPECT_EQ(v.type(), FeatureType::kNumeric);
+  EXPECT_DOUBLE_EQ(v.numeric(), 2.5);
+}
+
+TEST(FeatureValueTest, CategoricalSortsAndDedups) {
+  const FeatureValue v = FeatureValue::Categorical({5, 1, 3, 1, 5});
+  EXPECT_EQ(v.categories(), (std::vector<int32_t>{1, 3, 5}));
+}
+
+TEST(FeatureValueTest, HasCategory) {
+  const FeatureValue v = FeatureValue::Categorical({2, 4});
+  EXPECT_TRUE(v.HasCategory(2));
+  EXPECT_TRUE(v.HasCategory(4));
+  EXPECT_FALSE(v.HasCategory(3));
+  EXPECT_FALSE(FeatureValue::Numeric(2).HasCategory(2));
+  EXPECT_FALSE(FeatureValue::Missing().HasCategory(2));
+}
+
+TEST(FeatureValueTest, EmbeddingRoundTrip) {
+  const FeatureValue v = FeatureValue::Embedding({1.0f, -2.0f});
+  EXPECT_EQ(v.type(), FeatureType::kEmbedding);
+  EXPECT_EQ(v.embedding().size(), 2u);
+}
+
+TEST(FeatureValueTest, JaccardBasics) {
+  const auto a = FeatureValue::Categorical({1, 2, 3});
+  const auto b = FeatureValue::Categorical({2, 3, 4});
+  EXPECT_DOUBLE_EQ(FeatureValue::Jaccard(a, b), 0.5);  // |{2,3}| / |{1..4}|
+  EXPECT_DOUBLE_EQ(FeatureValue::Jaccard(a, a), 1.0);
+  const auto empty = FeatureValue::Categorical({});
+  EXPECT_DOUBLE_EQ(FeatureValue::Jaccard(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(FeatureValue::Jaccard(a, empty), 0.0);
+}
+
+TEST(FeatureValueTest, EqualityByTypeAndContent) {
+  EXPECT_EQ(FeatureValue::Numeric(1.0), FeatureValue::Numeric(1.0));
+  EXPECT_FALSE(FeatureValue::Numeric(1.0) == FeatureValue::Numeric(2.0));
+  EXPECT_EQ(FeatureValue::Categorical({1, 2}),
+            FeatureValue::Categorical({2, 1}));
+  EXPECT_FALSE(FeatureValue::Numeric(1.0) ==
+               FeatureValue::Categorical({1}));
+}
+
+TEST(FeatureValueTest, ToStringForms) {
+  EXPECT_EQ(FeatureValue::Missing().ToString(), "missing");
+  EXPECT_EQ(FeatureValue::Categorical({3, 1}).ToString(), "{1,3}");
+  EXPECT_EQ(FeatureValue::Embedding({1, 2, 3}).ToString(), "emb[3]");
+}
+
+// ---------- FeatureSchema ---------------------------------------------------
+
+FeatureDef Def(const std::string& name, FeatureType type, ServiceSet set,
+               bool servable = true, uint8_t modalities = kAllModalities) {
+  FeatureDef d;
+  d.name = name;
+  d.type = type;
+  d.set = set;
+  d.cardinality = 8;
+  d.servable = servable;
+  d.modalities = modalities;
+  return d;
+}
+
+TEST(FeatureSchemaTest, AddAndFind) {
+  FeatureSchema schema;
+  auto id = schema.Add(Def("topic", FeatureType::kCategorical, ServiceSet::kC));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  auto found = schema.Find("topic");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0);
+  EXPECT_EQ(schema.def(0).name, "topic");
+}
+
+TEST(FeatureSchemaTest, RejectsDuplicatesAndEmptyNames) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.Add(Def("x", FeatureType::kNumeric, ServiceSet::kA)).ok());
+  EXPECT_EQ(schema.Add(Def("x", FeatureType::kNumeric, ServiceSet::kA))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  FeatureDef unnamed;
+  EXPECT_EQ(schema.Add(unnamed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FeatureSchemaTest, FindMissing) {
+  FeatureSchema schema;
+  EXPECT_EQ(schema.Find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(FeatureSchemaTest, SelectBySetServabilityAndModality) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.Add(Def("a1", FeatureType::kCategorical,
+                             ServiceSet::kA)).ok());
+  ASSERT_TRUE(schema.Add(Def("b1", FeatureType::kCategorical,
+                             ServiceSet::kB)).ok());
+  ASSERT_TRUE(schema.Add(Def("b2", FeatureType::kNumeric, ServiceSet::kB,
+                             /*servable=*/false)).ok());
+  ASSERT_TRUE(schema.Add(Def("img", FeatureType::kEmbedding,
+                             ServiceSet::kImage, true,
+                             kImageMask)).ok());
+
+  EXPECT_EQ(schema.Select({ServiceSet::kA}).size(), 1u);
+  EXPECT_EQ(schema.Select({ServiceSet::kA, ServiceSet::kB}).size(), 3u);
+  EXPECT_EQ(schema.Select({ServiceSet::kB}, /*servable_only=*/true).size(),
+            1u);
+  EXPECT_EQ(schema.Select({ServiceSet::kImage}, false, kTextMask).size(), 0u);
+  EXPECT_EQ(schema.Select({ServiceSet::kImage}, false, kImageMask).size(),
+            1u);
+  EXPECT_EQ(schema.AllIds().size(), 4u);
+}
+
+// ---------- FeatureVector / FeatureStore ------------------------------------
+
+TEST(FeatureVectorTest, SetGetAndMissing) {
+  FeatureVector row(3);
+  EXPECT_TRUE(row.IsMissing(0));
+  row.Set(1, FeatureValue::Numeric(4.0));
+  EXPECT_FALSE(row.IsMissing(1));
+  EXPECT_DOUBLE_EQ(row.Get(1).numeric(), 4.0);
+  // Out-of-range reads are missing, not UB.
+  EXPECT_TRUE(row.Get(17).is_missing());
+  EXPECT_TRUE(row.Get(-1).is_missing());
+}
+
+TEST(FeatureVectorTest, Density) {
+  FeatureVector row(4);
+  EXPECT_DOUBLE_EQ(row.Density(), 0.0);
+  row.Set(0, FeatureValue::Numeric(1));
+  row.Set(3, FeatureValue::Categorical({1}));
+  EXPECT_DOUBLE_EQ(row.Density(), 0.5);
+}
+
+TEST(FeatureStoreTest, PutGetContains) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.Add(Def("f", FeatureType::kNumeric,
+                             ServiceSet::kA)).ok());
+  FeatureStore store(&schema);
+  FeatureVector row(1);
+  row.Set(0, FeatureValue::Numeric(9));
+  store.Put(77, std::move(row));
+  EXPECT_TRUE(store.Contains(77));
+  EXPECT_EQ(store.size(), 1u);
+  auto got = store.Get(77);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ((*got)->Get(0).numeric(), 9.0);
+  EXPECT_EQ(store.Get(78).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FeatureStoreTest, PutReplaces) {
+  FeatureSchema schema;
+  ASSERT_TRUE(schema.Add(Def("f", FeatureType::kNumeric,
+                             ServiceSet::kA)).ok());
+  FeatureStore store(&schema);
+  FeatureVector row1(1);
+  row1.Set(0, FeatureValue::Numeric(1));
+  store.Put(5, std::move(row1));
+  FeatureVector row2(1);
+  row2.Set(0, FeatureValue::Numeric(2));
+  store.Put(5, std::move(row2));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ((*store.Get(5))->Get(0).numeric(), 2.0);
+}
+
+}  // namespace
+}  // namespace crossmodal

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/evaluation.h"
+#include "dataflow/feature_generation.h"
+#include "fusion/fusion.h"
+#include "resources/registry.h"
+#include "synth/corpus_generator.h"
+
+namespace crossmodal {
+namespace {
+
+class FusionTest : public ::testing::Test {
+ protected:
+  FusionTest()
+      : generator_(world_, TaskSpec::CT(2).Scaled(0.06)),
+        corpus_(generator_.Generate()) {
+    auto registry = BuildModerationRegistry(generator_, 21);
+    CM_CHECK(registry.ok());
+    registry_ =
+        std::make_unique<ResourceRegistry>(std::move(registry).value());
+    store_ = std::make_unique<FeatureStore>(&registry_->schema());
+    GenerateFeatures(corpus_.text_labeled, *registry_, store_.get());
+    GenerateFeatures(corpus_.image_unlabeled, *registry_, store_.get());
+    GenerateFeatures(corpus_.image_test, *registry_, store_.get());
+
+    const auto& schema = registry_->schema();
+    input_.store = store_.get();
+    input_.text_features = schema.Select(
+        {ServiceSet::kA, ServiceSet::kB, ServiceSet::kC, ServiceSet::kD},
+        /*servable_only=*/true);
+    input_.image_features = input_.text_features;
+    auto emb = schema.Find("proprietary_embedding");
+    CM_CHECK(emb.ok());
+    input_.image_features.push_back(*emb);
+
+    // Text points with human labels; image points with ground truth used as
+    // stand-in weak labels (fusion correctness is independent of curation).
+    for (size_t i = 0; i < corpus_.text_labeled.size(); i += 2) {
+      const Entity& e = corpus_.text_labeled[i];
+      input_.points.push_back(TrainPoint{e.id, Modality::kText,
+                                         e.label == 1 ? 1.0f : 0.0f, 1.0f});
+    }
+    for (size_t i = 0; i < corpus_.image_unlabeled.size(); i += 2) {
+      const Entity& e = corpus_.image_unlabeled[i];
+      input_.points.push_back(TrainPoint{
+          e.id, Modality::kImage, e.label == 1 ? 0.9f : 0.1f, 1.0f});
+    }
+
+    spec_.kind = ModelKind::kMlp;
+    spec_.hidden = {16};
+    spec_.train.epochs = 6;
+  }
+
+  double TestAuprc(const CrossModalModel& model) {
+    return EvaluateModel(model, corpus_.image_test, *store_).auprc;
+  }
+
+  WorldConfig world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+  std::unique_ptr<ResourceRegistry> registry_;
+  std::unique_ptr<FeatureStore> store_;
+  FusionInput input_;
+  ModelSpec spec_;
+};
+
+TEST_F(FusionTest, MaskRowKeepsOnlyAllowed) {
+  const Entity& e = corpus_.image_unlabeled.front();
+  const FeatureVector& row = **store_->Get(e.id);
+  const std::vector<FeatureId> allowed = {0, 1};
+  const FeatureVector masked =
+      MaskRow(row, allowed, registry_->schema().size());
+  EXPECT_EQ(masked.size(), row.size());
+  for (size_t f = 0; f < masked.size(); ++f) {
+    const auto id = static_cast<FeatureId>(f);
+    if (f <= 1) {
+      EXPECT_EQ(masked.Get(id), row.Get(id));
+    } else {
+      EXPECT_TRUE(masked.Get(id).is_missing());
+    }
+  }
+}
+
+TEST_F(FusionTest, EarlyFusionLearnsTask) {
+  auto model = TrainEarlyFusion(input_, spec_);
+  ASSERT_TRUE(model.ok());
+  EXPECT_STREQ((*model)->method_name(), "early_fusion");
+  const double auprc = TestAuprc(**model);
+  // CT2 is an easy task; must decisively beat the positive-rate chance level.
+  EXPECT_GT(auprc, 3.0 * TaskSpec::CT(2).pos_rate);
+}
+
+TEST_F(FusionTest, IntermediateFusionRunsAndScores) {
+  auto model = TrainIntermediateFusion(input_, spec_);
+  ASSERT_TRUE(model.ok());
+  EXPECT_STREQ((*model)->method_name(), "intermediate_fusion");
+  const double auprc = TestAuprc(**model);
+  EXPECT_GT(auprc, 2.0 * TaskSpec::CT(2).pos_rate);
+}
+
+TEST_F(FusionTest, DeviseRunsAndScores) {
+  auto model = TrainDeViSE(input_, spec_);
+  ASSERT_TRUE(model.ok());
+  EXPECT_STREQ((*model)->method_name(), "devise");
+  const double auprc = TestAuprc(**model);
+  EXPECT_GT(auprc, 1.5 * TaskSpec::CT(2).pos_rate);
+}
+
+TEST_F(FusionTest, TrainFusedDispatch) {
+  for (FusionMethod m : {FusionMethod::kEarly, FusionMethod::kIntermediate,
+                         FusionMethod::kDeViSE}) {
+    auto model = TrainFused(input_, spec_, m);
+    ASSERT_TRUE(model.ok()) << FusionMethodName(m);
+    EXPECT_STREQ((*model)->method_name(), FusionMethodName(m));
+  }
+}
+
+TEST_F(FusionTest, ScoresAreProbabilities) {
+  auto model = TrainEarlyFusion(input_, spec_);
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i < 100 && i < corpus_.image_test.size(); ++i) {
+    const double s =
+        (*model)->Score(**store_->Get(corpus_.image_test[i].id));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(FusionTest, EmptyInputRejected) {
+  FusionInput empty = input_;
+  empty.points.clear();
+  EXPECT_FALSE(TrainEarlyFusion(empty, spec_).ok());
+  EXPECT_FALSE(TrainIntermediateFusion(empty, spec_).ok());
+  EXPECT_FALSE(TrainDeViSE(empty, spec_).ok());
+}
+
+TEST_F(FusionTest, DeviseNeedsBothModalities) {
+  FusionInput text_only = input_;
+  std::erase_if(text_only.points, [](const TrainPoint& p) {
+    return p.modality == Modality::kImage;
+  });
+  EXPECT_EQ(TrainDeViSE(text_only, spec_).status().code(),
+            StatusCode::kFailedPrecondition);
+  FusionInput image_only = input_;
+  std::erase_if(image_only.points, [](const TrainPoint& p) {
+    return p.modality == Modality::kText;
+  });
+  EXPECT_EQ(TrainDeViSE(image_only, spec_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FusionTest, DeterministicGivenSeed) {
+  auto m1 = TrainEarlyFusion(input_, spec_);
+  auto m2 = TrainEarlyFusion(input_, spec_);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  const FeatureVector& row = **store_->Get(corpus_.image_test[0].id);
+  EXPECT_DOUBLE_EQ((*m1)->Score(row), (*m2)->Score(row));
+}
+
+TEST(FusionHelpersTest, FusionMethodNames) {
+  EXPECT_STREQ(FusionMethodName(FusionMethod::kEarly), "early_fusion");
+  EXPECT_STREQ(FusionMethodName(FusionMethod::kIntermediate),
+               "intermediate_fusion");
+  EXPECT_STREQ(FusionMethodName(FusionMethod::kDeViSE), "devise");
+}
+
+}  // namespace
+}  // namespace crossmodal

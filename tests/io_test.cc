@@ -1,0 +1,189 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "dataflow/feature_generation.h"
+#include "io/artifacts.h"
+#include "io/tsv.h"
+#include "synth/corpus_generator.h"
+
+namespace crossmodal {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("cm_io_" + name))
+      .string();
+}
+
+// ---------- TSV -------------------------------------------------------------
+
+TEST(TsvTest, EscapeRoundTrip) {
+  const std::string nasty = "a\tb\nc\\d";
+  EXPECT_EQ(TsvUnescape(TsvEscape(nasty)), nasty);
+  EXPECT_EQ(TsvEscape("plain"), "plain");
+}
+
+TEST(TsvTest, JoinSplitRoundTrip) {
+  const std::vector<std::string> fields = {"x", "tab\there", "", "end\n"};
+  const auto split = TsvSplit(TsvJoin(fields));
+  EXPECT_EQ(split, fields);
+}
+
+TEST(TsvTest, SplitEmptyLine) {
+  const auto fields = TsvSplit("");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(TsvTest, FileRoundTrip) {
+  const std::string path = TempPath("lines.tsv");
+  const std::vector<std::string> lines = {"one", "two\tstill two", ""};
+  ASSERT_TRUE(WriteLines(path, lines).ok());
+  auto read = ReadLines(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, lines);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadLines("/nonexistent/dir/x.tsv").status().code(),
+            StatusCode::kIOError);
+}
+
+// ---------- FeatureValue codec ------------------------------------------------
+
+TEST(ArtifactsTest, FeatureValueCodecRoundTrip) {
+  const std::vector<FeatureValue> values = {
+      FeatureValue::Missing(),
+      FeatureValue::Numeric(3.14159),
+      FeatureValue::Numeric(-1e-17),
+      FeatureValue::Categorical({}),
+      FeatureValue::Categorical({5, 1, 9}),
+      FeatureValue::Embedding({0.5f, -2.25f, 0.0f}),
+  };
+  for (const FeatureValue& v : values) {
+    auto decoded = DecodeFeatureValue(EncodeFeatureValue(v));
+    ASSERT_TRUE(decoded.ok()) << EncodeFeatureValue(v);
+    EXPECT_EQ(*decoded, v) << EncodeFeatureValue(v);
+  }
+}
+
+TEST(ArtifactsTest, FeatureValueCodecRejectsGarbage) {
+  EXPECT_FALSE(DecodeFeatureValue("").ok());
+  EXPECT_FALSE(DecodeFeatureValue("X:1").ok());
+  EXPECT_FALSE(DecodeFeatureValue("N:notanumber").ok());
+  EXPECT_FALSE(DecodeFeatureValue("C:1|x|3").ok());
+}
+
+// ---------- Schema / store / labels round trips --------------------------------
+
+class IoRoundTripTest : public ::testing::Test {
+ protected:
+  IoRoundTripTest()
+      : generator_(world_, TaskSpec::CT(1).Scaled(0.02)),
+        corpus_(generator_.Generate()) {
+    auto registry = BuildModerationRegistry(generator_, 61);
+    CM_CHECK(registry.ok());
+    registry_ =
+        std::make_unique<ResourceRegistry>(std::move(registry).value());
+  }
+
+  WorldConfig world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+  std::unique_ptr<ResourceRegistry> registry_;
+};
+
+TEST_F(IoRoundTripTest, SchemaRoundTrip) {
+  const std::string path = TempPath("schema.tsv");
+  ASSERT_TRUE(WriteSchemaTsv(registry_->schema(), path).ok());
+  auto schema = ReadSchemaTsv(path);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->size(), registry_->schema().size());
+  for (size_t f = 0; f < schema->size(); ++f) {
+    const auto& a = schema->def(static_cast<FeatureId>(f));
+    const auto& b = registry_->schema().def(static_cast<FeatureId>(f));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.set, b.set);
+    EXPECT_EQ(a.cardinality, b.cardinality);
+    EXPECT_EQ(a.modalities, b.modalities);
+    EXPECT_EQ(a.servable, b.servable);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoRoundTripTest, FeatureStoreRoundTrip) {
+  FeatureStore store(&registry_->schema());
+  GenerateFeatures(corpus_.image_unlabeled, *registry_, &store);
+  const std::string path = TempPath("store.tsv");
+  ASSERT_TRUE(WriteFeatureStoreTsv(store, path).ok());
+  auto loaded = ReadFeatureStoreTsv(&registry_->schema(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), store.size());
+  for (const Entity& e : corpus_.image_unlabeled) {
+    auto a = store.Get(e.id);
+    auto b = loaded->Get(e.id);
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (size_t f = 0; f < registry_->schema().size(); ++f) {
+      EXPECT_EQ((*a)->Get(static_cast<FeatureId>(f)),
+                (*b)->Get(static_cast<FeatureId>(f)))
+          << "feature " << f << " of entity " << e.id;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoRoundTripTest, StoreRejectsWrongSchema) {
+  FeatureStore store(&registry_->schema());
+  GenerateFeatures({corpus_.image_unlabeled.front()}, *registry_, &store);
+  const std::string path = TempPath("store2.tsv");
+  ASSERT_TRUE(WriteFeatureStoreTsv(store, path).ok());
+  FeatureSchema other;
+  FeatureDef def;
+  def.name = "unrelated";
+  def.type = FeatureType::kNumeric;
+  ASSERT_TRUE(other.Add(def).ok());
+  EXPECT_FALSE(ReadFeatureStoreTsv(&other, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoRoundTripTest, WeakLabelsRoundTrip) {
+  std::vector<ProbabilisticLabel> labels(5);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i].entity = 100 + i;
+    labels[i].p_positive = 0.1 * static_cast<double>(i) + 0.01;
+    labels[i].covered = (i % 2) == 0;
+  }
+  const std::string path = TempPath("labels.tsv");
+  ASSERT_TRUE(WriteWeakLabelsTsv(labels, path).ok());
+  auto loaded = ReadWeakLabelsTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].entity, labels[i].entity);
+    EXPECT_DOUBLE_EQ((*loaded)[i].p_positive, labels[i].p_positive);
+    EXPECT_EQ((*loaded)[i].covered, labels[i].covered);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoRoundTripTest, PrCurveCsvWrites) {
+  std::vector<PrPoint> curve(3);
+  curve[0] = {0.1, 1.0, 0.9};
+  curve[1] = {0.5, 0.8, 0.5};
+  curve[2] = {1.0, 0.5, 0.1};
+  const std::string path = TempPath("curve.csv");
+  ASSERT_TRUE(WritePrCurveCsv(curve, path).ok());
+  auto lines = ReadLines(path);
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines->size(), 4u);
+  EXPECT_EQ((*lines)[0], "threshold,precision,recall");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crossmodal

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "labeling/label_matrix.h"
+#include "labeling/label_model.h"
+#include "labeling/labeling_function.h"
+#include "labeling/lf_quality.h"
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace crossmodal {
+namespace {
+
+FeatureSchema TwoFeatureSchema() {
+  FeatureSchema schema;
+  FeatureDef cat;
+  cat.name = "topic";
+  cat.type = FeatureType::kCategorical;
+  cat.cardinality = 8;
+  CM_CHECK(schema.Add(cat).ok());
+  FeatureDef num;
+  num.name = "score";
+  num.type = FeatureType::kNumeric;
+  CM_CHECK(schema.Add(num).ok());
+  return schema;
+}
+
+FeatureVector Row(std::vector<int32_t> cats, double score) {
+  FeatureVector row(2);
+  row.Set(0, FeatureValue::Categorical(std::move(cats)));
+  row.Set(1, FeatureValue::Numeric(score));
+  return row;
+}
+
+// ---------- LF primitives ---------------------------------------------------
+
+TEST(LabelingFunctionTest, CategoryLF) {
+  CategoryLF lf("pos_topic3", 0, 3, Vote::kPositive);
+  EXPECT_EQ(lf.Apply(1, Row({3, 5}, 0)), Vote::kPositive);
+  EXPECT_EQ(lf.Apply(1, Row({5}, 0)), Vote::kAbstain);
+  EXPECT_EQ(lf.Apply(1, FeatureVector(2)), Vote::kAbstain);  // missing
+}
+
+TEST(LabelingFunctionTest, ConjunctionLF) {
+  ConjunctionLF lf("conj", {{0, 3}, {0, 5}}, Vote::kNegative);
+  EXPECT_EQ(lf.Apply(1, Row({3, 5}, 0)), Vote::kNegative);
+  EXPECT_EQ(lf.Apply(1, Row({3}, 0)), Vote::kAbstain);
+}
+
+TEST(LabelingFunctionTest, NumericThresholdLF) {
+  NumericThresholdLF above("hi", 1, 0.5, /*above=*/true, Vote::kPositive);
+  NumericThresholdLF below("lo", 1, 0.5, /*above=*/false, Vote::kNegative);
+  EXPECT_EQ(above.Apply(1, Row({}, 0.7)), Vote::kPositive);
+  EXPECT_EQ(above.Apply(1, Row({}, 0.3)), Vote::kAbstain);
+  EXPECT_EQ(below.Apply(1, Row({}, 0.3)), Vote::kNegative);
+  EXPECT_EQ(below.Apply(1, FeatureVector(2)), Vote::kAbstain);
+}
+
+TEST(LabelingFunctionTest, NumericRangeLF) {
+  NumericRangeLF lf("bucket", 1, 0.2, 0.6, Vote::kPositive);
+  EXPECT_EQ(lf.Apply(1, Row({}, 0.2)), Vote::kPositive);
+  EXPECT_EQ(lf.Apply(1, Row({}, 0.6)), Vote::kAbstain);  // half-open
+  EXPECT_EQ(lf.Apply(1, Row({}, 0.1)), Vote::kAbstain);
+}
+
+TEST(LabelingFunctionTest, ScoreThresholdLF) {
+  ScoreThresholdLF lf("prop", {{10, 0.9}, {11, 0.05}, {12, 0.5}}, 0.8, 0.1);
+  const FeatureVector row(2);
+  EXPECT_EQ(lf.Apply(10, row), Vote::kPositive);
+  EXPECT_EQ(lf.Apply(11, row), Vote::kNegative);
+  EXPECT_EQ(lf.Apply(12, row), Vote::kAbstain);
+  EXPECT_EQ(lf.Apply(99, row), Vote::kAbstain);  // unknown entity
+}
+
+TEST(LabelingFunctionTest, LambdaLF) {
+  LambdaLF lf("custom", [](EntityId id, const FeatureVector&) {
+    return id % 2 == 0 ? Vote::kPositive : Vote::kAbstain;
+  });
+  EXPECT_EQ(lf.Apply(4, FeatureVector(0)), Vote::kPositive);
+  EXPECT_EQ(lf.Apply(5, FeatureVector(0)), Vote::kAbstain);
+}
+
+// ---------- LabelMatrix -----------------------------------------------------
+
+TEST(LabelMatrixTest, ApplyAndStats) {
+  FeatureSchema schema = TwoFeatureSchema();
+  FeatureStore store(&schema);
+  store.Put(1, Row({3}, 0.9));
+  store.Put(2, Row({3}, 0.1));
+  store.Put(3, Row({4}, 0.9));
+  store.Put(4, Row({5}, 0.1));
+
+  std::vector<LabelingFunctionPtr> lfs;
+  lfs.push_back(std::make_unique<CategoryLF>("topic3", 0, 3, Vote::kPositive));
+  lfs.push_back(std::make_unique<NumericThresholdLF>("hi", 1, 0.5, true,
+                                                     Vote::kNegative));
+  const LabelMatrix m = ApplyLabelingFunctions(lfs, {1, 2, 3, 4}, store);
+
+  EXPECT_EQ(m.num_rows(), 4u);
+  EXPECT_EQ(m.num_lfs(), 2u);
+  EXPECT_EQ(m.at(0, 0), Vote::kPositive);
+  EXPECT_EQ(m.at(0, 1), Vote::kNegative);
+  EXPECT_EQ(m.at(3, 0), Vote::kAbstain);
+  EXPECT_DOUBLE_EQ(m.Coverage(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.Coverage(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.TotalCoverage(), 0.75);  // row 4: hi abstains, topic3 abstains? row4={5},0.1 -> both abstain
+  EXPECT_DOUBLE_EQ(m.Overlap(0), 0.25);   // row 1 only
+  EXPECT_DOUBLE_EQ(m.Conflict(0), 0.25);  // row 1: +1 vs -1
+}
+
+TEST(LabelMatrixTest, MissingEntityGetsAbstainRow) {
+  FeatureSchema schema = TwoFeatureSchema();
+  FeatureStore store(&schema);
+  std::vector<LabelingFunctionPtr> lfs;
+  lfs.push_back(std::make_unique<CategoryLF>("topic3", 0, 3, Vote::kPositive));
+  const LabelMatrix m = ApplyLabelingFunctions(lfs, {42}, store);
+  EXPECT_EQ(m.at(0, 0), Vote::kAbstain);
+}
+
+// ---------- Majority vote ---------------------------------------------------
+
+TEST(MajorityVoteTest, CombinesVotes) {
+  LabelMatrix m({1, 2, 3}, {"a", "b", "c"});
+  m.set(0, 0, Vote::kPositive);
+  m.set(0, 1, Vote::kPositive);
+  m.set(0, 2, Vote::kNegative);
+  m.set(1, 0, Vote::kNegative);
+  // Row 2: all abstain.
+  const auto labels = MajorityVote(m, /*class_prior=*/0.1);
+  EXPECT_NEAR(labels[0].p_positive, 2.0 / 3.0, 1e-9);
+  EXPECT_TRUE(labels[0].covered);
+  EXPECT_DOUBLE_EQ(labels[1].p_positive, 0.0);
+  EXPECT_FALSE(labels[2].covered);
+  EXPECT_DOUBLE_EQ(labels[2].p_positive, 0.1);
+}
+
+// ---------- Generative model ------------------------------------------------
+
+/// Builds a synthetic matrix from LFs with known accuracies/propensities.
+LabelMatrix SyntheticVotes(const std::vector<double>& accuracy,
+                           const std::vector<double>& propensity,
+                           double class_balance, size_t n, uint64_t seed,
+                           std::vector<int>* truth) {
+  std::vector<EntityId> ids(n);
+  std::vector<std::string> names(accuracy.size());
+  for (size_t i = 0; i < n; ++i) ids[i] = i + 1;
+  for (size_t j = 0; j < names.size(); ++j) {
+    names[j] = "lf" + std::to_string(j);
+  }
+  LabelMatrix m(ids, names);
+  Rng rng(seed);
+  truth->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = rng.Bernoulli(class_balance) ? 1 : 0;
+    (*truth)[i] = y;
+    for (size_t j = 0; j < accuracy.size(); ++j) {
+      if (!rng.Bernoulli(propensity[j])) continue;
+      const bool agree = rng.Bernoulli(accuracy[j]);
+      const bool vote_positive = agree ? (y == 1) : (y == 0);
+      m.set(i, j, vote_positive ? Vote::kPositive : Vote::kNegative);
+    }
+  }
+  return m;
+}
+
+TEST(GenerativeModelTest, RecoversAccuracies) {
+  std::vector<int> truth;
+  const LabelMatrix m = SyntheticVotes({0.9, 0.7, 0.55}, {0.8, 0.8, 0.8},
+                                       0.3, 5000, 123, &truth);
+  GenerativeModelOptions options;
+  options.fixed_class_balance = 0.3;  // Snorkel's usual deployment mode
+  options.prior_anchor = 0.0;  // exact EM: the data is well-specified here
+  auto fit = GenerativeLabelModel::Fit(m, options);
+  ASSERT_TRUE(fit.ok());
+  // EM's full-posterior fixed point shrinks accuracies a few points toward
+  // the ensemble mean (self-reinforcement); ordering and rough magnitude
+  // are what the label model needs.
+  EXPECT_NEAR(fit->accuracies()[0], 0.9, 0.10);
+  EXPECT_NEAR(fit->accuracies()[1], 0.7, 0.10);
+  EXPECT_NEAR(fit->accuracies()[2], 0.55, 0.08);
+  EXPECT_GT(fit->accuracies()[0], fit->accuracies()[1]);
+  EXPECT_GT(fit->accuracies()[1], fit->accuracies()[2]);
+}
+
+TEST(GenerativeModelTest, LearnsClassBalanceApproximately) {
+  std::vector<int> truth;
+  const LabelMatrix m = SyntheticVotes({0.9, 0.85, 0.8}, {0.9, 0.9, 0.9},
+                                       0.3, 5000, 29, &truth);
+  GenerativeModelOptions options;
+  options.init_class_balance = 0.5;
+  auto fit = GenerativeLabelModel::Fit(m, options);
+  ASSERT_TRUE(fit.ok());
+  // Free-balance EM is only weakly identifiable; accept a coarse estimate.
+  EXPECT_NEAR(fit->class_balance(), 0.3, 0.12);
+}
+
+TEST(GenerativeModelTest, BeatsMajorityVoteWithHeterogeneousLFs) {
+  std::vector<int> truth;
+  const LabelMatrix m = SyntheticVotes({0.95, 0.55, 0.55, 0.55},
+                                       {0.9, 0.9, 0.9, 0.9}, 0.4, 4000, 7,
+                                       &truth);
+  GenerativeModelOptions mv_options;
+  mv_options.prior_anchor = 0.0;
+  auto fit = GenerativeLabelModel::Fit(m, mv_options);
+  ASSERT_TRUE(fit.ok());
+  const auto gen_labels = fit->Predict(m);
+  const auto mv_labels = MajorityVote(m, 0.4);
+  // The generative model upweights the accurate LF; compare the ranking
+  // quality of the probabilistic labels (what the end model consumes).
+  auto ap = [&](const std::vector<ProbabilisticLabel>& labels) {
+    std::vector<double> scores;
+    scores.reserve(labels.size());
+    for (const auto& l : labels) scores.push_back(l.p_positive);
+    return AveragePrecision(scores, truth);
+  };
+  EXPECT_GT(ap(gen_labels), ap(mv_labels));
+  // And it rates the strong LF above the weak ones.
+  const auto acc = fit->accuracies();
+  EXPECT_GT(acc[0], acc[1]);
+  EXPECT_GT(acc[0], acc[2]);
+}
+
+TEST(GenerativeModelTest, FixedClassBalanceRespected) {
+  std::vector<int> truth;
+  const LabelMatrix m =
+      SyntheticVotes({0.8}, {0.9}, 0.25, 2000, 11, &truth);
+  GenerativeModelOptions options;
+  options.fixed_class_balance = 0.25;
+  auto fit = GenerativeLabelModel::Fit(m, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->class_balance(), 0.25);
+}
+
+TEST(GenerativeModelTest, FailsWithoutLFsOrCoverage) {
+  LabelMatrix empty({1, 2}, {});
+  EXPECT_EQ(GenerativeLabelModel::Fit(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  LabelMatrix all_abstain({1, 2}, {"a"});
+  EXPECT_EQ(GenerativeLabelModel::Fit(all_abstain).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GenerativeModelTest, UncoveredRowsFallBackToBalance) {
+  // A consistent LF: votes positive on the first 3 of 10 rows, negative on
+  // the next 4, abstains on the rest.
+  std::vector<EntityId> ids(10);
+  for (size_t i = 0; i < 10; ++i) ids[i] = i + 1;
+  LabelMatrix m(ids, {"a"});
+  for (size_t i = 0; i < 3; ++i) m.set(i, 0, Vote::kPositive);
+  for (size_t i = 3; i < 7; ++i) m.set(i, 0, Vote::kNegative);
+  GenerativeModelOptions options;
+  options.fixed_class_balance = 0.2;
+  auto fit = GenerativeLabelModel::Fit(m, options);
+  ASSERT_TRUE(fit.ok());
+  const auto labels = fit->Predict(m);
+  for (size_t i = 7; i < 10; ++i) {
+    EXPECT_FALSE(labels[i].covered);
+    EXPECT_DOUBLE_EQ(labels[i].p_positive, 0.2);  // exactly the prior
+  }
+  EXPECT_TRUE(labels[0].covered);
+  EXPECT_TRUE(labels[3].covered);
+  // A positive vote must land above a negative vote.
+  EXPECT_GT(labels[0].p_positive, labels[3].p_positive);
+}
+
+
+TEST(TemperedThresholdTest, MatchesAnalyticLimits) {
+  // T = 1: the threshold is the plain 0.5.
+  EXPECT_NEAR(TemperedDecisionThreshold(0.05, 1.0), 0.5, 1e-12);
+  // T -> infinity: the threshold approaches the prior itself.
+  EXPECT_NEAR(TemperedDecisionThreshold(0.05, 1e9), 0.05, 1e-6);
+  // Monotone in T for an imbalanced prior.
+  const double t2 = TemperedDecisionThreshold(0.05, 2.0);
+  const double t4 = TemperedDecisionThreshold(0.05, 4.0);
+  EXPECT_GT(0.5, t2);
+  EXPECT_GT(t2, t4);
+  EXPECT_GT(t4, 0.05);
+}
+
+TEST(TemperedThresholdTest, ConsistentWithTemperedPredictions) {
+  // A point whose untempered posterior is exactly 0.5 maps to exactly the
+  // tempered threshold.
+  const double pi = 0.1, temp = 3.0;
+  const double prior_logit = std::log(pi / (1.0 - pi));
+  const double tempered = 1.0 / (1.0 + std::exp(-(prior_logit +
+                                                  (0.0 - prior_logit) / temp)));
+  EXPECT_NEAR(TemperedDecisionThreshold(pi, temp), tempered, 1e-12);
+}
+
+// ---------- LF quality ------------------------------------------------------
+
+TEST(LFQualityTest, PerLFMetrics) {
+  LabelMatrix m({1, 2, 3, 4}, {"pos_lf"});
+  m.set(0, 0, Vote::kPositive);  // y=1 -> TP
+  m.set(1, 0, Vote::kPositive);  // y=0 -> FP
+  // rows 2,3 abstain; y = {1,0}
+  const std::vector<int> truth = {1, 0, 1, 0};
+  const auto quality = EvaluateLFs(m, truth);
+  ASSERT_EQ(quality.size(), 1u);
+  EXPECT_DOUBLE_EQ(quality[0].coverage, 0.5);
+  EXPECT_DOUBLE_EQ(quality[0].precision, 0.5);
+  EXPECT_DOUBLE_EQ(quality[0].recall, 0.5);  // 1 of 2 positives
+  EXPECT_EQ(quality[0].polarity, 1);
+}
+
+TEST(LFQualityTest, ProbabilisticLabelQuality) {
+  std::vector<ProbabilisticLabel> labels(4);
+  for (size_t i = 0; i < 4; ++i) {
+    labels[i].entity = i + 1;
+    labels[i].covered = i < 3;
+  }
+  labels[0].p_positive = 0.9;  // y=1 TP
+  labels[1].p_positive = 0.8;  // y=0 FP
+  labels[2].p_positive = 0.2;  // y=1 FN
+  labels[3].p_positive = 0.9;  // uncovered: not predicted positive
+  const std::vector<int> truth = {1, 0, 1, 1};
+  const auto q = EvaluateProbabilisticLabels(labels, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_NEAR(q.recall, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.coverage, 0.75);
+}
+
+}  // namespace
+}  // namespace crossmodal

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "mining/itemset_miner.h"
+#include "mining/model_lf_generator.h"
+#include "util/random.h"
+
+namespace crossmodal {
+namespace {
+
+/// Schema: one multivalent categorical "tags" and one numeric "risk".
+FeatureSchema MiningSchema() {
+  FeatureSchema schema;
+  FeatureDef cat;
+  cat.name = "tags";
+  cat.type = FeatureType::kCategorical;
+  cat.cardinality = 20;
+  CM_CHECK(schema.Add(cat).ok());
+  FeatureDef num;
+  num.name = "risk";
+  num.type = FeatureType::kNumeric;
+  CM_CHECK(schema.Add(num).ok());
+  FeatureDef emb;
+  emb.name = "emb";
+  emb.type = FeatureType::kEmbedding;
+  emb.cardinality = 4;
+  CM_CHECK(schema.Add(emb).ok());
+  return schema;
+}
+
+struct DevSet {
+  std::vector<FeatureVector> rows;
+  std::vector<const FeatureVector*> ptrs;
+  std::vector<int> labels;
+
+  void Add(std::vector<int32_t> tags, double risk, int label) {
+    FeatureVector row(3);
+    row.Set(0, FeatureValue::Categorical(std::move(tags)));
+    row.Set(1, FeatureValue::Numeric(risk));
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+  void Finish() {
+    ptrs.clear();
+    for (const auto& r : rows) ptrs.push_back(&r);
+  }
+};
+
+/// Planted structure: tag 7 marks positives (with some contamination);
+/// tag 1 is a common background tag; high risk marks positives.
+DevSet PlantedDevSet(size_t n, double pos_rate, uint64_t seed) {
+  DevSet dev;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = rng.Bernoulli(pos_rate) ? 1 : 0;
+    std::vector<int32_t> tags;
+    tags.push_back(1);  // background
+    if (y == 1 && rng.Bernoulli(0.8)) tags.push_back(7);
+    if (y == 0 && rng.Bernoulli(0.01)) tags.push_back(7);
+    if (rng.Bernoulli(0.3)) tags.push_back(2);
+    const double risk = y == 1 ? rng.Uniform(0.5, 1.0) : rng.Uniform(0, 0.6);
+    dev.Add(std::move(tags), risk, y);
+  }
+  dev.Finish();
+  return dev;
+}
+
+TEST(ItemsetMinerTest, FindsPlantedPositiveItem) {
+  const FeatureSchema schema = MiningSchema();
+  MiningOptions options;
+  options.min_precision_pos = 0.6;
+  options.min_recall_pos = 0.1;
+  ItemsetMiner miner(&schema, options);
+  const DevSet dev = PlantedDevSet(3000, 0.1, 42);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  bool found_tag7 = false;
+  for (const auto& item : result->itemsets) {
+    if (item.feature == 0 && item.categories == std::vector<int32_t>{7} &&
+        item.polarity == Vote::kPositive) {
+      found_tag7 = true;
+      EXPECT_GT(item.precision, 0.6);
+      EXPECT_GT(item.recall, 0.5);
+    }
+    // The ubiquitous background tag must not be a positive LF.
+    if (item.polarity == Vote::kPositive && item.feature == 0) {
+      EXPECT_NE(item.categories, std::vector<int32_t>{1});
+    }
+  }
+  EXPECT_TRUE(found_tag7);
+  EXPECT_EQ(result->lfs.size(), result->itemsets.size());
+}
+
+TEST(ItemsetMinerTest, MinesNegativeItems) {
+  const FeatureSchema schema = MiningSchema();
+  MiningOptions options;
+  options.min_precision_neg = 0.9;
+  options.min_recall_neg = 0.1;
+  ItemsetMiner miner(&schema, options);
+  const DevSet dev = PlantedDevSet(3000, 0.1, 43);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  size_t negatives = 0;
+  for (const auto& item : result->itemsets) {
+    if (item.polarity == Vote::kNegative) {
+      ++negatives;
+      EXPECT_GE(item.precision, 0.9);
+    }
+  }
+  EXPECT_GT(negatives, 0u);
+}
+
+TEST(ItemsetMinerTest, StatsMatchDirectComputation) {
+  const FeatureSchema schema = MiningSchema();
+  MiningOptions options;
+  options.min_precision_pos = 0.5;
+  options.min_recall_pos = 0.05;
+  ItemsetMiner miner(&schema, options);
+  const DevSet dev = PlantedDevSet(1000, 0.15, 44);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  size_t n_pos = 0;
+  for (int y : dev.labels) n_pos += (y == 1);
+  for (size_t i = 0; i < result->itemsets.size(); ++i) {
+    const auto& item = result->itemsets[i];
+    if (item.polarity != Vote::kPositive) continue;
+    // Recompute precision/recall by applying the emitted LF.
+    size_t votes = 0, correct = 0;
+    for (size_t r = 0; r < dev.rows.size(); ++r) {
+      if (result->lfs[i]->Apply(0, dev.rows[r]) == Vote::kPositive) {
+        ++votes;
+        correct += (dev.labels[r] == 1);
+      }
+    }
+    ASSERT_GT(votes, 0u);
+    EXPECT_NEAR(item.precision,
+                static_cast<double>(correct) / votes, 1e-9);
+    EXPECT_NEAR(item.recall,
+                static_cast<double>(correct) / n_pos, 1e-9);
+  }
+}
+
+TEST(ItemsetMinerTest, NumericBucketsMined) {
+  const FeatureSchema schema = MiningSchema();
+  MiningOptions options;
+  options.min_precision_pos = 0.5;
+  options.min_recall_pos = 0.2;
+  options.num_numeric_buckets = 4;
+  ItemsetMiner miner(&schema, options);
+  // Risk > 0.6 is purely positive here.
+  DevSet dev;
+  Rng rng(45);
+  for (int i = 0; i < 2000; ++i) {
+    const int y = rng.Bernoulli(0.25) ? 1 : 0;
+    dev.Add({1}, y == 1 ? rng.Uniform(0.7, 1.0) : rng.Uniform(0.0, 0.5), y);
+  }
+  dev.Finish();
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  bool found_numeric = false;
+  for (const auto& item : result->itemsets) {
+    if (item.feature == 1 && item.polarity == Vote::kPositive) {
+      found_numeric = true;
+      EXPECT_GE(item.lo, 0.5);
+    }
+  }
+  EXPECT_TRUE(found_numeric);
+}
+
+TEST(ItemsetMinerTest, HigherOrderConjunctions) {
+  const FeatureSchema schema = MiningSchema();
+  // Planted: tags {3, 4} *together* mark positives; alone they are common.
+  DevSet dev;
+  Rng rng(46);
+  for (int i = 0; i < 4000; ++i) {
+    const int y = rng.Bernoulli(0.15) ? 1 : 0;
+    std::vector<int32_t> tags;
+    if (y == 1) {
+      tags = {3, 4};
+    } else {
+      if (rng.Bernoulli(0.4)) tags.push_back(3);
+      if (rng.Bernoulli(0.4)) tags.push_back(4);
+      // Rarely both (contamination).
+    }
+    dev.Add(std::move(tags), 0.0, y);
+  }
+  dev.Finish();
+  MiningOptions options;
+  options.min_precision_pos = 0.45;
+  options.min_recall_pos = 0.5;
+  options.max_order = 2;
+  ItemsetMiner miner(&schema, options);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  bool found_pair = false;
+  double pair_precision = 0.0, single_precision = 0.0;
+  for (const auto& item : result->itemsets) {
+    if (item.polarity != Vote::kPositive) continue;
+    if (item.categories == std::vector<int32_t>{3, 4}) {
+      found_pair = true;
+      pair_precision = item.precision;
+    }
+    if (item.categories == std::vector<int32_t>{3}) {
+      single_precision = item.precision;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  if (single_precision > 0.0) {
+    EXPECT_GT(pair_precision, single_precision);
+  }
+  EXPECT_GT(result->report.higher_order_candidates, 0u);
+}
+
+TEST(ItemsetMinerTest, RespectsAllowedFeatures) {
+  const FeatureSchema schema = MiningSchema();
+  MiningOptions options;
+  options.min_precision_pos = 0.3;
+  options.min_recall_pos = 0.01;
+  options.allowed_features = {1};  // numeric only
+  ItemsetMiner miner(&schema, options);
+  const DevSet dev = PlantedDevSet(1000, 0.2, 47);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  for (const auto& item : result->itemsets) EXPECT_EQ(item.feature, 1);
+}
+
+TEST(ItemsetMinerTest, CapsLFCount) {
+  const FeatureSchema schema = MiningSchema();
+  MiningOptions options;
+  options.min_precision_neg = 0.5;
+  options.min_recall_neg = 0.0;
+  options.max_lfs_per_polarity = 3;
+  ItemsetMiner miner(&schema, options);
+  const DevSet dev = PlantedDevSet(2000, 0.1, 48);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  size_t neg = 0;
+  for (const auto& item : result->itemsets) {
+    neg += (item.polarity == Vote::kNegative);
+  }
+  EXPECT_LE(neg, 3u);
+}
+
+
+TEST(ItemsetMinerTest, ReportFieldsPopulated) {
+  const FeatureSchema schema = MiningSchema();
+  ItemsetMiner miner(&schema, MiningOptions{});
+  const DevSet dev = PlantedDevSet(1500, 0.15, 51);
+  auto result = miner.MineLFs(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->report.order1_candidates, 0u);
+  EXPECT_GE(result->report.elapsed_seconds, 0.0);
+  EXPECT_EQ(result->report.accepted_positive +
+                result->report.accepted_negative,
+            result->lfs.size());
+}
+
+
+TEST(ModelLfGeneratorTest, GeneratesUsefulHeuristics) {
+  const FeatureSchema schema = MiningSchema();
+  const DevSet dev = PlantedDevSet(3000, 0.15, 90);
+  ModelLfOptions options;
+  options.min_precision = 0.5;
+  options.max_lfs = 8;
+  ModelLfGenerator generator(&schema, options);
+  auto result = generator.Generate(dev.ptrs, dev.labels);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->lfs.size(), 0u);
+  EXPECT_GT(result->candidates_trained, 0u);
+  // The committee's positive votes must be substantially better than the
+  // 15% base rate.
+  size_t n_pos = 0;
+  for (int y : dev.labels) n_pos += (y == 1);
+  size_t votes = 0, correct = 0;
+  for (size_t i = 0; i < dev.rows.size(); ++i) {
+    for (const auto& lf : result->lfs) {
+      if (lf->Apply(0, dev.rows[i]) == Vote::kPositive) {
+        ++votes;
+        correct += (dev.labels[i] == 1);
+        break;
+      }
+    }
+  }
+  ASSERT_GT(votes, 0u);
+  EXPECT_GT(static_cast<double>(correct) / votes, 0.4);
+}
+
+TEST(ModelLfGeneratorTest, Deterministic) {
+  const FeatureSchema schema = MiningSchema();
+  const DevSet dev = PlantedDevSet(800, 0.2, 91);
+  ModelLfGenerator generator(&schema, ModelLfOptions{});
+  auto r1 = generator.Generate(dev.ptrs, dev.labels);
+  auto r2 = generator.Generate(dev.ptrs, dev.labels);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->lfs.size(), r2->lfs.size());
+  for (size_t i = 0; i < dev.rows.size(); ++i) {
+    for (size_t j = 0; j < r1->lfs.size(); ++j) {
+      EXPECT_EQ(r1->lfs[j]->Apply(0, dev.rows[i]),
+                r2->lfs[j]->Apply(0, dev.rows[i]));
+    }
+  }
+}
+
+TEST(ModelLfGeneratorTest, ValidatesInput) {
+  const FeatureSchema schema = MiningSchema();
+  ModelLfGenerator generator(&schema, ModelLfOptions{});
+  EXPECT_FALSE(generator.Generate({}, {}).ok());
+  DevSet single;
+  single.Add({1}, 0.5, 1);
+  single.Finish();
+  EXPECT_FALSE(generator.Generate(single.ptrs, single.labels).ok());
+}
+
+TEST(ItemsetMinerTest, ErrorsOnDegenerateInput) {
+  const FeatureSchema schema = MiningSchema();
+  ItemsetMiner miner(&schema, MiningOptions{});
+  EXPECT_EQ(miner.MineLFs({}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  DevSet dev;
+  dev.Add({1}, 0.5, 1);
+  dev.Finish();
+  EXPECT_EQ(miner.MineLFs(dev.ptrs, dev.labels).status().code(),
+            StatusCode::kFailedPrecondition);  // single class
+  EXPECT_EQ(miner.MineLFs(dev.ptrs, {}).status().code(),
+            StatusCode::kInvalidArgument);  // misaligned
+}
+
+}  // namespace
+}  // namespace crossmodal

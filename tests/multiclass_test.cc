@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "labeling/multiclass.h"
+#include "ml/softmax_regression.h"
+#include "util/random.h"
+
+namespace crossmodal {
+namespace {
+
+// ---------- MulticlassLF / matrix --------------------------------------------
+
+FeatureSchema OneFeatureSchema() {
+  FeatureSchema schema;
+  FeatureDef cat;
+  cat.name = "topic";
+  cat.type = FeatureType::kCategorical;
+  cat.cardinality = 6;
+  CM_CHECK(schema.Add(cat).ok());
+  return schema;
+}
+
+TEST(MulticlassLFTest, FromCategoryMap) {
+  // Categories 0,1 -> class 0; 2,3 -> class 1; 4,5 abstain.
+  const MulticlassLF lf = MulticlassLF::FromCategoryMap(
+      "topic_map", 0, {0, 0, 1, 1, kAbstainClass, kAbstainClass});
+  FeatureVector row(1);
+  row.Set(0, FeatureValue::Categorical({3}));
+  EXPECT_EQ(lf.Apply(1, row), 1);
+  row.Set(0, FeatureValue::Categorical({4}));
+  EXPECT_EQ(lf.Apply(1, row), kAbstainClass);
+  row.Set(0, FeatureValue::Categorical({1, 5}));
+  EXPECT_EQ(lf.Apply(1, row), 0);
+  EXPECT_EQ(lf.Apply(1, FeatureVector(1)), kAbstainClass);
+}
+
+TEST(MulticlassMatrixTest, ApplyAndCoverage) {
+  const FeatureSchema schema = OneFeatureSchema();
+  FeatureStore store(&schema);
+  for (EntityId id = 1; id <= 4; ++id) {
+    FeatureVector row(1);
+    row.Set(0, FeatureValue::Categorical({static_cast<int32_t>(id - 1)}));
+    store.Put(id, std::move(row));
+  }
+  std::vector<MulticlassLF> lfs;
+  lfs.push_back(MulticlassLF::FromCategoryMap(
+      "map", 0, {0, 1, 2, kAbstainClass, kAbstainClass, kAbstainClass}));
+  const auto matrix = ApplyMulticlassLFs(lfs, {1, 2, 3, 4}, store, 3);
+  EXPECT_EQ(matrix.at(0, 0), 0);
+  EXPECT_EQ(matrix.at(1, 0), 1);
+  EXPECT_EQ(matrix.at(2, 0), 2);
+  EXPECT_EQ(matrix.at(3, 0), kAbstainClass);
+  EXPECT_DOUBLE_EQ(matrix.Coverage(0), 0.75);
+}
+
+// ---------- Multiclass label model ---------------------------------------------
+
+/// Synthetic votes with planted accuracies over K classes.
+MulticlassLabelMatrix SyntheticMulticlassVotes(
+    const std::vector<double>& accuracy, double propensity, int32_t K,
+    size_t n, uint64_t seed, std::vector<int32_t>* truth) {
+  std::vector<EntityId> ids(n);
+  std::vector<std::string> names(accuracy.size());
+  for (size_t i = 0; i < n; ++i) ids[i] = i + 1;
+  for (size_t j = 0; j < names.size(); ++j) {
+    names[j] = "lf" + std::to_string(j);
+  }
+  MulticlassLabelMatrix m(ids, names, K);
+  Rng rng(seed);
+  truth->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t y = static_cast<int32_t>(rng.UniformInt(
+        static_cast<uint64_t>(K)));
+    (*truth)[i] = y;
+    for (size_t j = 0; j < accuracy.size(); ++j) {
+      if (!rng.Bernoulli(propensity)) continue;
+      int32_t vote = y;
+      if (!rng.Bernoulli(accuracy[j])) {
+        vote = static_cast<int32_t>(
+            (y + 1 + rng.UniformInt(static_cast<uint64_t>(K - 1))) % K);
+      }
+      m.set(i, j, vote);
+    }
+  }
+  return m;
+}
+
+TEST(MulticlassLabelModelTest, RecoversLabelsOnCleanVotes) {
+  std::vector<int32_t> truth;
+  const auto m =
+      SyntheticMulticlassVotes({0.9, 0.75, 0.6}, 0.8, 4, 4000, 5, &truth);
+  auto fit = MulticlassLabelModel::Fit(m);
+  ASSERT_TRUE(fit.ok()) << fit.status();
+  const auto labels = fit->Predict(m);
+  std::vector<int32_t> predicted;
+  std::vector<int32_t> truth_covered;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (!labels[i].covered) continue;
+    predicted.push_back(labels[i].Top());
+    truth_covered.push_back(truth[i]);
+  }
+  ASSERT_GT(predicted.size(), 3000u);
+  EXPECT_GT(MulticlassAccuracy(predicted, truth_covered), 0.8);
+  // LF quality ordering is recovered.
+  const auto acc = fit->accuracies();
+  EXPECT_GT(acc[0], acc[2]);
+}
+
+TEST(MulticlassLabelModelTest, UncoveredRowsGetPrior) {
+  // A consistent LF: votes class 2 on 10 of 40 rows, class 0 on 10,
+  // abstains on the rest.
+  std::vector<EntityId> ids(40);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i + 1;
+  MulticlassLabelMatrix m(ids, {"a"}, 3);
+  for (size_t i = 0; i < 10; ++i) m.set(i, 0, 2);
+  for (size_t i = 10; i < 20; ++i) m.set(i, 0, 0);
+  MulticlassModelOptions options;
+  options.class_balance = {0.5, 0.3, 0.2};
+  auto fit = MulticlassLabelModel::Fit(m, options);
+  ASSERT_TRUE(fit.ok());
+  const auto labels = fit->Predict(m);
+  for (size_t i = 20; i < 40; ++i) {
+    EXPECT_FALSE(labels[i].covered);
+    EXPECT_NEAR(labels[i].p[0], 0.5, 1e-9);
+    EXPECT_NEAR(labels[i].p[1], 0.3, 1e-9);
+  }
+  EXPECT_TRUE(labels[0].covered);
+  EXPECT_EQ(labels[0].Top(), 2);
+  EXPECT_EQ(labels[10].Top(), 0);
+}
+
+TEST(MulticlassLabelModelTest, ValidatesInput) {
+  std::vector<EntityId> ids = {1};
+  MulticlassLabelMatrix m(ids, {}, 3);
+  EXPECT_FALSE(MulticlassLabelModel::Fit(m).ok());
+  MulticlassLabelMatrix m2(ids, {"a"}, 3);
+  MulticlassModelOptions bad;
+  bad.class_balance = {0.5, 0.5};  // wrong arity
+  EXPECT_FALSE(MulticlassLabelModel::Fit(m2, bad).ok());
+}
+
+// ---------- Softmax regression --------------------------------------------------
+
+MulticlassDataset ThreeClassBlobs(size_t n, uint64_t seed) {
+  MulticlassDataset data;
+  data.dim = 2;
+  data.num_classes = 3;
+  Rng rng(seed);
+  const double cx[3] = {0.0, 3.0, -3.0};
+  const double cy[3] = {3.0, -2.0, -2.0};
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t y = static_cast<int32_t>(rng.UniformInt(uint64_t{3}));
+    MulticlassExample ex;
+    ex.x.Add(0, static_cast<float>(cx[y] + rng.Normal(0, 0.7)));
+    ex.x.Add(1, static_cast<float>(cy[y] + rng.Normal(0, 0.7)));
+    ex.target.assign(3, 0.0f);
+    ex.target[static_cast<size_t>(y)] = 1.0f;
+    data.examples.push_back(std::move(ex));
+  }
+  return data;
+}
+
+TEST(SoftmaxRegressionTest, LearnsThreeBlobs) {
+  const MulticlassDataset train = ThreeClassBlobs(1500, 3);
+  TrainOptions options;
+  options.epochs = 15;
+  auto model = SoftmaxRegression::Train(train, options);
+  ASSERT_TRUE(model.ok()) << model.status();
+  const MulticlassDataset test = ThreeClassBlobs(400, 4);
+  std::vector<int32_t> predicted, truth;
+  for (const auto& ex : test.examples) {
+    predicted.push_back(model->PredictClass(ex.x));
+    truth.push_back(static_cast<int32_t>(
+        std::max_element(ex.target.begin(), ex.target.end()) -
+        ex.target.begin()));
+  }
+  EXPECT_GT(MulticlassAccuracy(predicted, truth), 0.95);
+  EXPECT_GT(MacroF1(predicted, truth, 3), 0.95);
+}
+
+TEST(SoftmaxRegressionTest, PredictionsAreDistributions) {
+  const MulticlassDataset train = ThreeClassBlobs(300, 5);
+  auto model = SoftmaxRegression::Train(train, TrainOptions{});
+  ASSERT_TRUE(model.ok());
+  SparseRow x;
+  x.Add(0, 1.0f);
+  const auto p = model->Predict(x);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SoftmaxRegressionTest, SoftTargetsRespected) {
+  // Single constant feature; targets average to (0.2, 0.3, 0.5).
+  MulticlassDataset data;
+  data.dim = 1;
+  data.num_classes = 3;
+  for (int i = 0; i < 600; ++i) {
+    MulticlassExample ex;
+    ex.x.Add(0, 1.0f);
+    ex.target = {0.2f, 0.3f, 0.5f};
+    data.examples.push_back(std::move(ex));
+  }
+  TrainOptions options;
+  options.epochs = 30;
+  options.l2 = 0.0;
+  auto model = SoftmaxRegression::Train(data, options);
+  ASSERT_TRUE(model.ok());
+  SparseRow x;
+  x.Add(0, 1.0f);
+  const auto p = model->Predict(x);
+  EXPECT_NEAR(p[0], 0.2, 0.03);
+  EXPECT_NEAR(p[1], 0.3, 0.03);
+  EXPECT_NEAR(p[2], 0.5, 0.03);
+}
+
+TEST(SoftmaxRegressionTest, ValidatesInput) {
+  MulticlassDataset empty;
+  empty.num_classes = 3;
+  EXPECT_FALSE(SoftmaxRegression::Train(empty, TrainOptions{}).ok());
+  MulticlassDataset bad;
+  bad.dim = 1;
+  bad.num_classes = 3;
+  MulticlassExample ex;
+  ex.x.Add(0, 1.0f);
+  ex.target = {1.0f};  // wrong arity
+  bad.examples.push_back(ex);
+  EXPECT_FALSE(SoftmaxRegression::Train(bad, TrainOptions{}).ok());
+}
+
+TEST(MulticlassMetricsTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({0, 1, 2}, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0, 1, 1}, {0, 0, 1, 1}, 2), 1.0);
+  EXPECT_LT(MacroF1({0, 0, 0, 0}, {0, 0, 1, 1}, 2), 0.5);
+}
+
+}  // namespace
+}  // namespace crossmodal

@@ -1,0 +1,108 @@
+// Cross-task pipeline invariants: the full system, swept over all five
+// task presets at reduced scale (parameterized gtest). These guard the
+// contracts every bench relies on, independent of calibration.
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "synth/corpus_generator.h"
+
+namespace crossmodal {
+namespace {
+
+class PipelineProperty : public ::testing::TestWithParam<int> {
+ protected:
+  PipelineProperty()
+      : task_(TaskSpec::CT(GetParam()).Scaled(0.12)),
+        generator_(world_, task_),
+        corpus_(generator_.Generate()) {
+    auto registry = BuildModerationRegistry(generator_, task_.seed);
+    CM_CHECK(registry.ok());
+    registry_ =
+        std::make_unique<ResourceRegistry>(std::move(registry).value());
+    config_.model.hidden = {8};
+    config_.model.train.epochs = 4;
+    config_.curation.dev_sample = 1000;
+    config_.curation.graph_seed_sample = 500;
+    config_.curation.graph_tune_sample = 200;
+    config_.curation.label_model.fixed_class_balance = task_.pos_rate;
+  }
+
+  WorldConfig world_;
+  TaskSpec task_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+  std::unique_ptr<ResourceRegistry> registry_;
+  PipelineConfig config_;
+};
+
+TEST_P(PipelineProperty, CurationInvariants) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto curation = pipeline.CurateTrainingData();
+  ASSERT_TRUE(curation.ok()) << curation.status();
+  // One weak label per unlabeled point, all probabilities in [0, 1].
+  ASSERT_EQ(curation->weak_labels.size(), corpus_.image_unlabeled.size());
+  for (const auto& label : curation->weak_labels) {
+    EXPECT_GE(label.p_positive, 0.0);
+    EXPECT_LE(label.p_positive, 1.0);
+  }
+  // Coverage is a fraction; LFs exist; mining stats are consistent.
+  EXPECT_GE(curation->lf_total_coverage, 0.0);
+  EXPECT_LE(curation->lf_total_coverage, 1.0);
+  EXPECT_GT(curation->lfs.size(), 0u);
+  EXPECT_EQ(curation->mining_report.accepted_positive +
+                curation->mining_report.accepted_negative +
+                (curation->used_label_propagation ? 1u : 0u),
+            curation->lfs.size());
+}
+
+TEST_P(PipelineProperty, NonservableNeverInEndModel) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  ASSERT_TRUE(pipeline.GenerateFeatureSpace().ok());
+  const auto& sel = pipeline.selection();
+  for (FeatureId f : sel.image_model_features) {
+    EXPECT_TRUE(registry_->schema().def(f).servable)
+        << registry_->schema().def(f).name;
+  }
+  for (FeatureId f : sel.text_model_features) {
+    EXPECT_TRUE(registry_->schema().def(f).servable);
+  }
+}
+
+TEST_P(PipelineProperty, ScoresAreProbabilitiesAndDeterministic) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto scores = pipeline.ScoreTestSet(*result->model);
+  ASSERT_EQ(scores.size(), corpus_.image_test.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // Re-scoring is bit-identical (pure inference).
+  const auto again = pipeline.ScoreTestSet(*result->model);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], again[i]);
+  }
+}
+
+TEST_P(PipelineProperty, PipelineBeatsRandomRanking) {
+  CrossModalPipeline pipeline(registry_.get(), &corpus_, config_);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok());
+  const EvalResult eval =
+      EvaluateModel(*result->model, corpus_.image_test, pipeline.store());
+  // Even at 12% scale with a tiny model, every task's pipeline must beat
+  // the positive-rate chance level.
+  EXPECT_GT(eval.auprc, task_.pos_rate) << task_.name;
+  EXPECT_GT(eval.roc_auc, 0.55) << task_.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, PipelineProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace crossmodal

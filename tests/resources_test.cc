@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include "resources/embedding_services.h"
+#include "resources/frame_splitter.h"
+#include "resources/noise.h"
+#include "resources/registry.h"
+#include "resources/validation.h"
+#include "dataflow/feature_generation.h"
+#include "resources/topic_services.h"
+#include "synth/corpus_generator.h"
+#include "util/logging.h"
+
+namespace crossmodal {
+namespace {
+
+class ResourcesTest : public ::testing::Test {
+ protected:
+  ResourcesTest()
+      : generator_(world_, TaskSpec::CT(1).Scaled(0.05)),
+        corpus_(generator_.Generate()) {
+    auto registry = BuildModerationRegistry(generator_, /*seed=*/7);
+    CM_CHECK(registry.ok());
+    registry_ = std::make_unique<ResourceRegistry>(
+        std::move(registry).value());
+  }
+
+  WorldConfig world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+  std::unique_ptr<ResourceRegistry> registry_;
+};
+
+TEST_F(ResourcesTest, RegistryHasPaperServiceCounts) {
+  // 15 services in sets A-D (3+2+5+5) plus 3 image-specific ones.
+  EXPECT_EQ(registry_->size(), 18u);
+  const FeatureSchema& schema = registry_->schema();
+  EXPECT_EQ(schema.Select({ServiceSet::kA}).size(), 3u);
+  EXPECT_EQ(schema.Select({ServiceSet::kB}).size(), 2u);
+  EXPECT_EQ(schema.Select({ServiceSet::kC}).size(), 5u);
+  EXPECT_EQ(schema.Select({ServiceSet::kD}).size(), 5u);
+  EXPECT_EQ(schema.Select({ServiceSet::kImage}).size(), 3u);
+}
+
+TEST_F(ResourcesTest, NonservableFeatureDeclared) {
+  auto risk = registry_->schema().Find("content_risk_score");
+  ASSERT_TRUE(risk.ok());
+  EXPECT_FALSE(registry_->schema().def(*risk).servable);
+  // Everything else in A-D is servable.
+  size_t nonservable = 0;
+  for (const auto& def : registry_->schema().defs()) {
+    if (!def.servable) ++nonservable;
+  }
+  EXPECT_EQ(nonservable, 1u);
+}
+
+TEST_F(ResourcesTest, ServicesArePureFunctions) {
+  const Entity& e = corpus_.image_unlabeled.front();
+  for (size_t i = 0; i < registry_->size(); ++i) {
+    const FeatureService& svc = registry_->service(static_cast<FeatureId>(i));
+    EXPECT_EQ(svc.Apply(e), svc.Apply(e)) << svc.name();
+  }
+}
+
+TEST_F(ResourcesTest, EmbeddingServicesImageOnly) {
+  const Entity& text = corpus_.text_labeled.front();
+  const Entity& image = corpus_.image_unlabeled.front();
+  auto prop = registry_->schema().Find("proprietary_embedding");
+  ASSERT_TRUE(prop.ok());
+  const FeatureService& svc = registry_->service(*prop);
+  EXPECT_TRUE(svc.Apply(text).is_missing());
+  const FeatureValue v = svc.Apply(image);
+  ASSERT_FALSE(v.is_missing());
+  EXPECT_EQ(static_cast<int>(v.embedding().size()), world_.embedding_dim);
+}
+
+TEST_F(ResourcesTest, GenerateFeaturesProducesAlignedRow) {
+  const Entity& e = corpus_.image_unlabeled.front();
+  const FeatureVector row = registry_->GenerateFeatures(e);
+  EXPECT_EQ(row.size(), registry_->schema().size());
+  EXPECT_GT(row.Density(), 0.5);
+}
+
+TEST_F(ResourcesTest, TextRowsLackImageFeatures) {
+  const Entity& e = corpus_.text_labeled.front();
+  const FeatureVector row = registry_->GenerateFeatures(e);
+  for (FeatureId f : registry_->schema().Select({ServiceSet::kImage})) {
+    EXPECT_TRUE(row.Get(f).is_missing());
+  }
+}
+
+TEST_F(ResourcesTest, TopicServiceTracksLatentTopic) {
+  auto topic_id = registry_->schema().Find("topic_primary");
+  ASSERT_TRUE(topic_id.ok());
+  const FeatureService& svc = registry_->service(*topic_id);
+  size_t correct = 0, present = 0;
+  for (size_t i = 0; i < 500 && i < corpus_.text_labeled.size(); ++i) {
+    const Entity& e = corpus_.text_labeled[i];
+    const FeatureValue v = svc.Apply(e);
+    if (v.is_missing()) continue;
+    ++present;
+    correct += v.HasCategory(e.latent.topic);
+  }
+  ASSERT_GT(present, 300u);
+  EXPECT_GT(static_cast<double>(correct) / present, 0.8);
+}
+
+TEST_F(ResourcesTest, ImageChannelNoisierThanText) {
+  auto topic_id = registry_->schema().Find("topic_primary");
+  ASSERT_TRUE(topic_id.ok());
+  const FeatureService& svc = registry_->service(*topic_id);
+  auto accuracy = [&](const std::vector<Entity>& split) {
+    size_t correct = 0, present = 0;
+    for (const Entity& e : split) {
+      const FeatureValue v = svc.Apply(e);
+      if (v.is_missing()) continue;
+      ++present;
+      correct += v.HasCategory(e.latent.topic);
+    }
+    return static_cast<double>(correct) / std::max<size_t>(1, present);
+  };
+  EXPECT_GT(accuracy(corpus_.text_labeled),
+            accuracy(corpus_.image_unlabeled));
+}
+
+TEST_F(ResourcesTest, ProprietaryEmbeddingLessNoisyThanGeneric) {
+  // Two entities with identical latents but different ids differ only by
+  // observation noise; the proprietary embedding's noise is smaller.
+  auto prop = registry_->schema().Find("proprietary_embedding");
+  auto gen = registry_->schema().Find("generic_embedding");
+  ASSERT_TRUE(prop.ok() && gen.ok());
+  auto noise_energy = [&](FeatureId f) {
+    const FeatureService& svc = registry_->service(f);
+    double total = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < 200 && i < corpus_.image_unlabeled.size(); ++i) {
+      Entity a = corpus_.image_unlabeled[i];
+      Entity b = a;
+      b.id = a.id + 1000000;  // same latents, fresh observation noise
+      const FeatureValue va = svc.Apply(a);
+      const FeatureValue vb = svc.Apply(b);
+      if (va.is_missing() || vb.is_missing()) continue;
+      for (size_t k = 0; k < va.embedding().size(); ++k) {
+        const double d = static_cast<double>(va.embedding()[k]) -
+                         vb.embedding()[k];
+        total += d * d;
+      }
+      ++pairs;
+    }
+    return total / std::max<size_t>(1, pairs);
+  };
+  EXPECT_LT(noise_energy(*prop), noise_energy(*gen));
+}
+
+TEST(NoiseTest, ScaledClampsRates) {
+  ChannelNoise noise{.drop_rate = 0.5,
+                     .confuse_rate = 0.5,
+                     .spurious_rate = 0.5,
+                     .missing_rate = 0.5};
+  const ChannelNoise scaled = noise.Scaled(10.0);
+  EXPECT_LE(scaled.drop_rate, 0.95);
+  EXPECT_LE(scaled.missing_rate, 0.95);
+  const ChannelNoise zero = noise.Scaled(0.0);
+  EXPECT_EQ(zero.drop_rate, 0.0);
+}
+
+TEST(NoiseTest, NoisyCategoricalNoiselessIsIdentity) {
+  Rng rng(3);
+  const ChannelNoise clean{};
+  const FeatureValue v =
+      NoisyCategorical(std::vector<int32_t>{1, 5}, 10, clean, &rng);
+  EXPECT_EQ(v, FeatureValue::Categorical({1, 5}));
+}
+
+TEST(NoiseTest, MissingRateProducesMissing) {
+  ChannelNoise always_missing{};
+  always_missing.missing_rate = 1.0;
+  Rng rng(3);
+  EXPECT_TRUE(NoisyCategorical(std::vector<int32_t>{1}, 10, always_missing,
+                               &rng)
+                  .is_missing());
+  EXPECT_TRUE(NoisyNumeric(1.0, 0.1, always_missing, &rng).is_missing());
+}
+
+TEST(NoiseTest, DropRateRemovesCategories) {
+  ChannelNoise dropping{};
+  dropping.drop_rate = 1.0;
+  Rng rng(3);
+  const FeatureValue v =
+      NoisyCategorical(std::vector<int32_t>{1, 2, 3}, 10, dropping, &rng);
+  ASSERT_FALSE(v.is_missing());
+  EXPECT_TRUE(v.categories().empty());
+}
+
+TEST(FrameSplitterTest, SplitsVideoIntoImageFrames) {
+  WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(1).Scaled(0.05));
+  Rng rng(5);
+  const Entity video = gen.MakeVideoEntity(true, 42, 100, 6, &rng);
+  VideoFrameSplitter splitter;
+  auto frames = splitter.Split(video);
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames->size(), 6u);
+  for (const Entity& f : *frames) {
+    EXPECT_EQ(f.modality, Modality::kImage);
+    EXPECT_EQ(f.label, video.label);
+  }
+  // Frame ids are stable.
+  auto frames2 = splitter.Split(video);
+  ASSERT_TRUE(frames2.ok());
+  EXPECT_EQ((*frames)[0].id, (*frames2)[0].id);
+}
+
+TEST(FrameSplitterTest, CapsFrames) {
+  WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(1).Scaled(0.05));
+  Rng rng(5);
+  const Entity video = gen.MakeVideoEntity(false, 43, 100, 12, &rng);
+  VideoFrameSplitter splitter(/*max_frames=*/4);
+  auto frames = splitter.Split(video);
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames->size(), 4u);
+}
+
+TEST(FrameSplitterTest, RejectsNonVideo) {
+  WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(1).Scaled(0.05));
+  Rng rng(5);
+  const Entity image = gen.MakeEntity(Modality::kImage, false, 44, 0, &rng);
+  VideoFrameSplitter splitter;
+  EXPECT_EQ(splitter.Split(image).status().code(),
+            StatusCode::kInvalidArgument);
+  Entity empty_video;
+  empty_video.modality = Modality::kVideo;
+  EXPECT_EQ(splitter.Split(empty_video).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+
+TEST(FrameSplitterTest, AggregateFrameRowsPools) {
+  FeatureSchema schema;
+  FeatureDef cat;
+  cat.name = "tags";
+  cat.type = FeatureType::kCategorical;
+  cat.cardinality = 8;
+  CM_CHECK(schema.Add(cat).ok());
+  FeatureDef num;
+  num.name = "score";
+  num.type = FeatureType::kNumeric;
+  CM_CHECK(schema.Add(num).ok());
+  FeatureDef emb;
+  emb.name = "emb";
+  emb.type = FeatureType::kEmbedding;
+  emb.cardinality = 2;
+  CM_CHECK(schema.Add(emb).ok());
+
+  FeatureVector f1(3), f2(3);
+  f1.Set(0, FeatureValue::Categorical({1, 2}));
+  f1.Set(1, FeatureValue::Numeric(1.0));
+  f1.Set(2, FeatureValue::Embedding({1.0f, 0.0f}));
+  f2.Set(0, FeatureValue::Categorical({2, 3}));
+  f2.Set(1, FeatureValue::Numeric(3.0));
+  f2.Set(2, FeatureValue::Embedding({0.0f, 1.0f}));
+
+  const FeatureVector pooled = AggregateFrameRows({f1, f2}, schema);
+  EXPECT_EQ(pooled.Get(0).categories(), (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(pooled.Get(1).numeric(), 2.0);
+  EXPECT_FLOAT_EQ(pooled.Get(2).embedding()[0], 0.5f);
+  EXPECT_FLOAT_EQ(pooled.Get(2).embedding()[1], 0.5f);
+}
+
+TEST(FrameSplitterTest, AggregateSkipsMissing) {
+  FeatureSchema schema;
+  FeatureDef num;
+  num.name = "score";
+  num.type = FeatureType::kNumeric;
+  CM_CHECK(schema.Add(num).ok());
+  FeatureVector f1(1), f2(1);
+  f2.Set(0, FeatureValue::Numeric(4.0));
+  const FeatureVector pooled = AggregateFrameRows({f1, f2}, schema);
+  EXPECT_DOUBLE_EQ(pooled.Get(0).numeric(), 4.0);  // only present frames
+  const FeatureVector empty = AggregateFrameRows({f1}, schema);
+  EXPECT_TRUE(empty.Get(0).is_missing());
+}
+
+
+TEST(ValidationTest, FlagsCorruptedServiceAndPassesRealOnes) {
+  WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(2).Scaled(0.06));
+  const Corpus corpus = gen.Generate();
+  auto registry = BuildModerationRegistry(gen, 71);
+  CM_CHECK(registry.ok());
+  // Inject a broken upstream resource.
+  ASSERT_TRUE(registry->Register(std::make_unique<CorruptedService>(
+                                     "broken_feed", 16, 99))
+                  .ok());
+  FeatureStore store(&registry->schema());
+  GenerateFeatures(corpus.text_labeled, *registry, &store);
+  GenerateFeatures(corpus.image_unlabeled, *registry, &store);
+  std::vector<EntityId> old_ids, new_ids;
+  std::vector<int> old_labels;
+  for (size_t i = 0; i < 3000 && i < corpus.text_labeled.size(); ++i) {
+    old_ids.push_back(corpus.text_labeled[i].id);
+    old_labels.push_back(corpus.text_labeled[i].label == 1 ? 1 : 0);
+  }
+  for (const Entity& e : corpus.image_unlabeled) new_ids.push_back(e.id);
+
+  auto reports = ValidateResources(*registry, store, old_ids, old_labels,
+                                   new_ids);
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  bool topic_ok = false;
+  for (const auto& r : *reports) {
+    if (r.name == "topic_primary") {
+      topic_ok = true;
+      EXPECT_FALSE(r.suspect) << "real service flagged";
+      EXPECT_GT(r.best_item_f1, 0.05);
+      EXPECT_GT(r.coverage_old, 0.8);
+    }
+    if (r.name == "broken_feed") {
+      // Full coverage but zero signal: best item precision hovers at the
+      // class prior, so it is context-only, not adversarial.
+      EXPECT_GT(r.coverage_old, 0.9);
+      EXPECT_LT(r.best_item_precision, 3.0 * 0.093);
+    }
+  }
+  EXPECT_TRUE(topic_ok);
+}
+
+TEST(ValidationTest, LowCoverageIsSuspect) {
+  WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(1).Scaled(0.03));
+  const Corpus corpus = gen.Generate();
+  ResourceRegistry registry;
+  ModalityNoise mostly_missing = ModalityNoise::Uniform(
+      ChannelNoise{.drop_rate = 0, .confuse_rate = 0, .spurious_rate = 0,
+                   .missing_rate = 0.9});
+  ASSERT_TRUE(registry
+                  .Register(std::make_unique<TopicPrimaryService>(
+                      world, 5, mostly_missing))
+                  .ok());
+  FeatureStore store(&registry.schema());
+  GenerateFeatures(corpus.text_labeled, registry, &store);
+  GenerateFeatures(corpus.image_unlabeled, registry, &store);
+  std::vector<EntityId> old_ids, new_ids;
+  std::vector<int> old_labels;
+  for (const Entity& e : corpus.text_labeled) {
+    old_ids.push_back(e.id);
+    old_labels.push_back(e.label == 1 ? 1 : 0);
+  }
+  for (const Entity& e : corpus.image_unlabeled) new_ids.push_back(e.id);
+  auto reports = ValidateResources(registry, store, old_ids, old_labels,
+                                   new_ids);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  EXPECT_TRUE((*reports)[0].suspect);
+}
+
+TEST(ValidationTest, CorruptedServiceIsPureAndInRange) {
+  CorruptedService svc("junk", 8, 5);
+  WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(1).Scaled(0.02));
+  Rng rng(1);
+  const Entity e = gen.MakeEntity(Modality::kImage, false, 77, 0, &rng);
+  const FeatureValue a = svc.Apply(e);
+  EXPECT_EQ(a, svc.Apply(e));
+  for (int32_t c : a.categories()) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 8);
+  }
+}
+
+TEST(RegistryTest, RejectsNullAndDuplicate) {
+  WorldConfig world;
+  ResourceRegistry registry;
+  EXPECT_EQ(registry.Register(nullptr).code(), StatusCode::kInvalidArgument);
+  ModalityNoise noise;
+  ASSERT_TRUE(registry
+                  .Register(std::make_unique<TopicPrimaryService>(world, 1,
+                                                                  noise))
+                  .ok());
+  EXPECT_EQ(registry
+                .Register(std::make_unique<TopicPrimaryService>(world, 1,
+                                                                noise))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace crossmodal

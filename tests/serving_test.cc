@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "serving/model_server.h"
+#include "synth/corpus_generator.h"
+
+namespace crossmodal {
+namespace {
+
+class ServingTest : public ::testing::Test {
+ protected:
+  ServingTest()
+      : generator_(world_, TaskSpec::CT(2).Scaled(0.05)),
+        corpus_(generator_.Generate()) {
+    auto registry = BuildModerationRegistry(generator_, 51);
+    CM_CHECK(registry.ok());
+    registry_ =
+        std::make_unique<ResourceRegistry>(std::move(registry).value());
+    config_.model.hidden = {8};
+    config_.model.train.epochs = 4;
+    config_.curation.dev_sample = 800;
+    config_.curation.use_label_propagation = false;
+    pipeline_ = std::make_unique<CrossModalPipeline>(registry_.get(),
+                                                     &corpus_, config_);
+    auto result = pipeline_->Run();
+    CM_CHECK(result.ok()) << result.status();
+    model_ = std::move(result->model);
+  }
+
+  WorldConfig world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+  std::unique_ptr<ResourceRegistry> registry_;
+  PipelineConfig config_;
+  std::unique_ptr<CrossModalPipeline> pipeline_;
+  CrossModalModelPtr model_;
+};
+
+TEST_F(ServingTest, ServesScoresAndRecordsLatency) {
+  auto server = ModelServer::Create(
+      std::move(model_), &registry_->schema(),
+      pipeline_->selection().image_model_features);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::vector<const FeatureVector*> rows;
+  for (size_t i = 0; i < 200 && i < corpus_.image_test.size(); ++i) {
+    rows.push_back(*pipeline_->store().Get(corpus_.image_test[i].id));
+  }
+  const auto scores = server->ScoreBatch(rows);
+  ASSERT_EQ(scores.size(), rows.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  const LatencyStats stats = server->latency();
+  EXPECT_EQ(stats.count, rows.size());
+  EXPECT_GT(stats.mean_us, 0.0);
+  EXPECT_LE(stats.p50_us, stats.p95_us);
+  EXPECT_LE(stats.p95_us, stats.max_us);
+}
+
+TEST_F(ServingTest, RejectsNonservableFeatures) {
+  auto risk = registry_->schema().Find("content_risk_score");
+  ASSERT_TRUE(risk.ok());
+  std::vector<FeatureId> features =
+      pipeline_->selection().image_model_features;
+  features.push_back(*risk);
+  auto server =
+      ModelServer::Create(std::move(model_), &registry_->schema(), features);
+  EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(server.status().message().find("content_risk_score"),
+            std::string::npos);
+}
+
+TEST_F(ServingTest, EnforcementCanBeDisabledOffline) {
+  auto risk = registry_->schema().Find("content_risk_score");
+  ASSERT_TRUE(risk.ok());
+  std::vector<FeatureId> features = {*risk};
+  ServingOptions options;
+  options.enforce_servable = false;
+  auto server = ModelServer::Create(std::move(model_), &registry_->schema(),
+                                    features, options);
+  EXPECT_TRUE(server.ok());
+}
+
+TEST_F(ServingTest, StripsNonservableInputs) {
+  auto risk = registry_->schema().Find("content_risk_score");
+  ASSERT_TRUE(risk.ok());
+  auto server = ModelServer::Create(
+      std::move(model_), &registry_->schema(),
+      pipeline_->selection().image_model_features);
+  ASSERT_TRUE(server.ok());
+
+  // A row with and without the nonservable value must score identically:
+  // production never has it, so serving ignores it.
+  const FeatureVector& base =
+      **pipeline_->store().Get(corpus_.image_test[0].id);
+  FeatureVector with_risk(base.size());
+  for (size_t f = 0; f < base.size(); ++f) {
+    const auto& v = base.Get(static_cast<FeatureId>(f));
+    if (!v.is_missing()) with_risk.Set(static_cast<FeatureId>(f), v);
+  }
+  with_risk.Set(*risk, FeatureValue::Numeric(999.0));  // would be an outlier
+  FeatureVector without_risk(base.size());
+  for (size_t f = 0; f < base.size(); ++f) {
+    if (static_cast<FeatureId>(f) == *risk) continue;
+    const auto& v = base.Get(static_cast<FeatureId>(f));
+    if (!v.is_missing()) without_risk.Set(static_cast<FeatureId>(f), v);
+  }
+  EXPECT_DOUBLE_EQ(server->Score(with_risk), server->Score(without_risk));
+}
+
+TEST_F(ServingTest, CreateValidatesArguments) {
+  EXPECT_EQ(ModelServer::Create(nullptr, &registry_->schema(), {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto bad_id = ModelServer::Create(std::move(model_), &registry_->schema(),
+                                    {static_cast<FeatureId>(9999)});
+  EXPECT_EQ(bad_id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LatencyStatsTest, EmptyServerReportsZeroes) {
+  // Covered through ModelServer::latency() with no requests.
+  LatencyStats stats;
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.mean_us, 0.0);
+}
+
+}  // namespace
+}  // namespace crossmodal

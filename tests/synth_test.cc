@@ -1,0 +1,220 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "synth/corpus_generator.h"
+
+namespace crossmodal {
+namespace {
+
+TaskSpec SmallTask() {
+  TaskSpec t = TaskSpec::CT(1);
+  return t.Scaled(0.1);
+}
+
+TEST(TaskSpecTest, PresetsMatchTableOne) {
+  // Positive rates straight from Table 1.
+  EXPECT_DOUBLE_EQ(TaskSpec::CT(1).pos_rate, 0.041);
+  EXPECT_DOUBLE_EQ(TaskSpec::CT(2).pos_rate, 0.093);
+  EXPECT_DOUBLE_EQ(TaskSpec::CT(3).pos_rate, 0.032);
+  EXPECT_DOUBLE_EQ(TaskSpec::CT(4).pos_rate, 0.009);
+  EXPECT_DOUBLE_EQ(TaskSpec::CT(5).pos_rate, 0.069);
+  // Scaled corpus sizes preserve Table 1's ordering (text >> unlabeled).
+  for (int k = 1; k <= 5; ++k) {
+    const TaskSpec t = TaskSpec::CT(k);
+    EXPECT_GT(t.n_text_labeled, t.n_image_unlabeled) << t.name;
+  }
+}
+
+TEST(TaskSpecTest, ScaledAppliesFactorWithFloor) {
+  const TaskSpec t = TaskSpec::CT(1).Scaled(0.5);
+  EXPECT_EQ(t.n_text_labeled, 9000u);
+  const TaskSpec tiny = TaskSpec::CT(1).Scaled(1e-9);
+  EXPECT_EQ(tiny.n_text_labeled, 100u);  // floor
+}
+
+TEST(CorpusGeneratorTest, DeterministicAcrossInstances) {
+  const WorldConfig world;
+  const TaskSpec task = SmallTask();
+  const Corpus a = CorpusGenerator(world, task).Generate();
+  const Corpus b = CorpusGenerator(world, task).Generate();
+  ASSERT_EQ(a.text_labeled.size(), b.text_labeled.size());
+  for (size_t i = 0; i < a.text_labeled.size(); ++i) {
+    EXPECT_EQ(a.text_labeled[i].id, b.text_labeled[i].id);
+    EXPECT_EQ(a.text_labeled[i].label, b.text_labeled[i].label);
+    EXPECT_EQ(a.text_labeled[i].latent.topic, b.text_labeled[i].latent.topic);
+  }
+}
+
+TEST(CorpusGeneratorTest, SeedChangesCorpus) {
+  const WorldConfig world;
+  TaskSpec t1 = SmallTask();
+  TaskSpec t2 = SmallTask();
+  t2.seed += 1;
+  const Corpus a = CorpusGenerator(world, t1).Generate();
+  const Corpus b = CorpusGenerator(world, t2).Generate();
+  int same_topic = 0;
+  const size_t n = std::min(a.text_labeled.size(), b.text_labeled.size());
+  for (size_t i = 0; i < n; ++i) {
+    same_topic +=
+        (a.text_labeled[i].latent.topic == b.text_labeled[i].latent.topic);
+  }
+  EXPECT_LT(static_cast<double>(same_topic) / n, 0.5);
+}
+
+TEST(CorpusGeneratorTest, SplitSizesMatchSpec) {
+  const WorldConfig world;
+  const TaskSpec task = SmallTask();
+  const Corpus c = CorpusGenerator(world, task).Generate();
+  EXPECT_EQ(c.text_labeled.size(), task.n_text_labeled);
+  EXPECT_EQ(c.image_unlabeled.size(), task.n_image_unlabeled);
+  EXPECT_EQ(c.image_labeled_pool.size(), task.n_image_pool);
+  EXPECT_EQ(c.image_test.size(), task.n_image_test);
+  EXPECT_EQ(c.TotalSize(), task.n_text_labeled + task.n_image_unlabeled +
+                               task.n_image_pool + task.n_image_test);
+}
+
+TEST(CorpusGeneratorTest, PositiveRatesNearSpec) {
+  const WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(2).Scaled(0.2);
+  const Corpus c = CorpusGenerator(world, task).Generate();
+  EXPECT_NEAR(PositiveRate(c.image_test), task.pos_rate, 0.002);
+  EXPECT_NEAR(PositiveRate(c.image_unlabeled), task.pos_rate, 0.002);
+  // Text labels are noisy but close.
+  EXPECT_NEAR(PositiveRate(c.text_labeled), task.pos_rate, 0.02);
+}
+
+TEST(CorpusGeneratorTest, EntityIdsUnique) {
+  const WorldConfig world;
+  const Corpus c = CorpusGenerator(world, SmallTask()).Generate();
+  std::vector<EntityId> ids;
+  for (const auto* split : {&c.text_labeled, &c.image_unlabeled,
+                            &c.image_labeled_pool, &c.image_test}) {
+    for (const Entity& e : *split) ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(CorpusGeneratorTest, TimeSplitPreventsLeakage) {
+  const WorldConfig world;
+  const Corpus c = CorpusGenerator(world, SmallTask()).Generate();
+  for (const Entity& e : c.text_labeled) EXPECT_LT(e.timestamp, 1000);
+  for (const Entity& e : c.image_test) EXPECT_LT(e.timestamp, 1000);
+  for (const Entity& e : c.image_unlabeled) EXPECT_GE(e.timestamp, 1000);
+}
+
+TEST(CorpusGeneratorTest, ModalitiesAssigned) {
+  const WorldConfig world;
+  const Corpus c = CorpusGenerator(world, SmallTask()).Generate();
+  for (const Entity& e : c.text_labeled) {
+    EXPECT_EQ(e.modality, Modality::kText);
+  }
+  for (const Entity& e : c.image_unlabeled) {
+    EXPECT_EQ(e.modality, Modality::kImage);
+  }
+}
+
+TEST(CorpusGeneratorTest, PositivesCarryRiskSignal) {
+  const WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(2).Scaled(0.3);
+  CorpusGenerator gen(world, task);
+  const Corpus c = gen.Generate();
+  const auto& risky = gen.risky_topics();
+  auto risky_topic_rate = [&](bool positive) {
+    size_t hits = 0, total = 0;
+    for (const Entity& e : c.image_unlabeled) {
+      if ((e.label == 1) != positive) continue;
+      ++total;
+      hits += std::binary_search(risky.begin(), risky.end(), e.latent.topic);
+    }
+    return static_cast<double>(hits) / std::max<size_t>(1, total);
+  };
+  EXPECT_GT(risky_topic_rate(true), risky_topic_rate(false) + 0.3);
+}
+
+TEST(CorpusGeneratorTest, ModalityShiftChangesBackgroundTopics) {
+  const WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(3).Scaled(0.3);  // large shift
+  CorpusGenerator gen(world, task);
+  const Corpus c = gen.Generate();
+  auto topic_histogram = [&](const std::vector<Entity>& split) {
+    std::vector<double> h(world.num_topics, 0.0);
+    size_t total = 0;
+    for (const Entity& e : split) {
+      if (e.label == 1) continue;  // background only
+      h[static_cast<size_t>(e.latent.topic)] += 1.0;
+      ++total;
+    }
+    for (auto& v : h) v /= std::max<size_t>(1, total);
+    return h;
+  };
+  const auto ht = topic_histogram(c.text_labeled);
+  const auto hi = topic_histogram(c.image_unlabeled);
+  double l1 = 0.0;
+  for (size_t k = 0; k < ht.size(); ++k) l1 += std::abs(ht[k] - hi[k]);
+  EXPECT_GT(l1, 0.3) << "image background prior should be shifted";
+}
+
+TEST(CorpusGeneratorTest, IntensitySeparatesBlatantAndBorderline) {
+  const WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(1).Scaled(0.3);
+  const Corpus c = CorpusGenerator(world, task).Generate();
+  size_t blatant = 0, borderline = 0, neg_high = 0, neg = 0;
+  for (const Entity& e : c.image_unlabeled) {
+    if (e.label == 1) {
+      (e.latent.intensity > 0.6 ? blatant : borderline)++;
+    } else {
+      ++neg;
+      neg_high += (e.latent.intensity > 0.6);
+    }
+  }
+  EXPECT_GT(blatant, 0u);
+  EXPECT_GT(borderline, 0u);
+  EXPECT_EQ(neg_high, 0u) << "negatives stay low-intensity";
+  EXPECT_GT(neg, 0u);
+}
+
+TEST(CorpusGeneratorTest, SemanticVectorsUnitNorm) {
+  const WorldConfig world;
+  const Corpus c = CorpusGenerator(world, SmallTask()).Generate();
+  for (size_t i = 0; i < 50 && i < c.text_labeled.size(); ++i) {
+    const auto& s = c.text_labeled[i].latent.semantic;
+    ASSERT_EQ(static_cast<int>(s.size()), world.semantic_dim);
+    double norm = 0.0;
+    for (float v : s) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST(CorpusGeneratorTest, VideoEntitiesHaveFrames) {
+  const WorldConfig world;
+  const TaskSpec task = SmallTask();
+  CorpusGenerator gen(world, task);
+  Rng rng(1);
+  const Entity video = gen.MakeVideoEntity(true, 999, 0, 8, &rng);
+  EXPECT_EQ(video.modality, Modality::kVideo);
+  EXPECT_EQ(video.frames.size(), 8u);
+  for (const auto& frame : video.frames) {
+    EXPECT_FALSE(frame.objects.empty());
+    EXPECT_EQ(static_cast<int>(frame.semantic.size()), world.semantic_dim);
+  }
+}
+
+TEST(CorpusGeneratorTest, RiskySubsetsWithinVocab) {
+  const WorldConfig world;
+  CorpusGenerator gen(world, TaskSpec::CT(4));
+  for (int32_t t : gen.risky_topics()) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, world.num_topics);
+  }
+  for (int32_t o : gen.risky_objects()) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, world.num_objects);
+  }
+  EXPECT_GE(gen.risky_topics().size(), 3u);
+}
+
+}  // namespace
+}  // namespace crossmodal

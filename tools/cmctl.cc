@@ -1,0 +1,223 @@
+// cmctl — command-line driver for the crossmodal library.
+//
+// Subcommands:
+//   generate  --task N [--scale F] --out DIR     synthesize a task corpus's
+//                                                feature store + schema TSVs
+//   curate    --task N [--scale F] --out DIR     run steps A+B, write weak
+//                                                labels + schema/store
+//   run       --task N [--scale F] [--out DIR]   full pipeline + evaluation
+//                                                (writes the test PR curve
+//                                                when --out is given)
+//   audit     --task N [--scale F]               resource-quality audit
+//
+// Everything is deterministic; --seed overrides the task preset's seed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "io/artifacts.h"
+#include "resources/validation.h"
+#include "synth/corpus_generator.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+using namespace crossmodal;
+
+namespace {
+
+struct Args {
+  std::string command;
+  int task = 1;
+  double scale = 0.25;
+  uint64_t seed = 0;  // 0 = task preset default
+  std::string out;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: cmctl <generate|curate|run|audit> --task N "
+               "[--scale F] [--seed S] [--out DIR]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--task") {
+      args->task = std::atoi(value.c_str());
+    } else if (flag == "--scale") {
+      args->scale = std::atof(value.c_str());
+    } else if (flag == "--seed") {
+      args->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--out") {
+      args->out = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return args->task >= 1 && args->task <= 5 && args->scale > 0.0;
+}
+
+struct World {
+  TaskSpec task;
+  WorldConfig config;
+  std::unique_ptr<CorpusGenerator> generator;
+  Corpus corpus;
+  std::unique_ptr<ResourceRegistry> registry;
+};
+
+World MakeWorld(const Args& args) {
+  World world;
+  world.task = TaskSpec::CT(args.task).Scaled(args.scale);
+  if (args.seed != 0) world.task.seed = args.seed;
+  world.generator =
+      std::make_unique<CorpusGenerator>(world.config, world.task);
+  world.corpus = world.generator->Generate();
+  auto registry = BuildModerationRegistry(*world.generator, world.task.seed);
+  CM_CHECK(registry.ok()) << registry.status();
+  world.registry =
+      std::make_unique<ResourceRegistry>(std::move(registry).value());
+  return world;
+}
+
+PipelineConfig MakeConfig(const World& world) {
+  PipelineConfig config;
+  config.seed = DeriveSeed(world.task.seed, "cmctl");
+  config.model.ensemble_size = 3;
+  config.curation.label_model.fixed_class_balance = world.task.pos_rate;
+  return config;
+}
+
+int CmdGenerate(const Args& args) {
+  const World world = MakeWorld(args);
+  std::filesystem::create_directories(args.out);
+  CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
+                              MakeConfig(world));
+  CM_CHECK_OK(pipeline.GenerateFeatureSpace());
+  CM_CHECK_OK(WriteSchemaTsv(world.registry->schema(),
+                             args.out + "/schema.tsv"));
+  CM_CHECK_OK(WriteFeatureStoreTsv(pipeline.store(),
+                                   args.out + "/features.tsv"));
+  std::printf("wrote %zu-feature schema and %zu rows to %s\n",
+              world.registry->schema().size(), pipeline.store().size(),
+              args.out.c_str());
+  return 0;
+}
+
+int CmdCurate(const Args& args) {
+  const World world = MakeWorld(args);
+  std::filesystem::create_directories(args.out);
+  CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
+                              MakeConfig(world));
+  auto curation = pipeline.CurateTrainingData();
+  CM_CHECK(curation.ok()) << curation.status();
+  CM_CHECK_OK(WriteSchemaTsv(world.registry->schema(),
+                             args.out + "/schema.tsv"));
+  CM_CHECK_OK(WriteFeatureStoreTsv(pipeline.store(),
+                                   args.out + "/features.tsv"));
+  CM_CHECK_OK(WriteWeakLabelsTsv(curation->weak_labels,
+                                 args.out + "/weak_labels.tsv"));
+  std::printf("curated %zu weak labels with %zu LFs (coverage %.2f); "
+              "artifacts in %s\n",
+              curation->weak_labels.size(), curation->lfs.size(),
+              curation->lf_total_coverage, args.out.c_str());
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  const World world = MakeWorld(args);
+  CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
+                              MakeConfig(world));
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+  const auto scores = pipeline.ScoreTestSet(*result->model);
+  const EvalResult eval = EvaluateScores(scores, world.corpus.image_test);
+  std::printf("%s: AUPRC %.3f  ROC-AUC %.3f  (n=%zu, %zu positives)\n",
+              world.task.name.c_str(), eval.auprc, eval.roc_auc, eval.n,
+              eval.n_pos);
+  std::printf("stages: feature-gen %.2fs, curation %.2fs, training %.2fs\n",
+              result->report.feature_gen_seconds,
+              result->report.curation_seconds,
+              result->report.training_seconds);
+  if (!args.out.empty()) {
+    std::filesystem::create_directories(args.out);
+    std::vector<int> labels;
+    for (const Entity& e : world.corpus.image_test) {
+      labels.push_back(e.label == 1 ? 1 : 0);
+    }
+    CM_CHECK_OK(WritePrCurveCsv(PrecisionRecallCurve(scores, labels),
+                                args.out + "/pr_curve.csv"));
+    CM_CHECK_OK(WriteWeakLabelsTsv(result->curation.weak_labels,
+                                   args.out + "/weak_labels.tsv"));
+    std::printf("wrote pr_curve.csv and weak_labels.tsv to %s\n",
+                args.out.c_str());
+  }
+  return 0;
+}
+
+int CmdAudit(const Args& args) {
+  const World world = MakeWorld(args);
+  CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
+                              MakeConfig(world));
+  CM_CHECK_OK(pipeline.GenerateFeatureSpace());
+  std::vector<EntityId> old_ids, new_ids;
+  std::vector<int> old_labels;
+  for (const Entity& e : world.corpus.text_labeled) {
+    old_ids.push_back(e.id);
+    old_labels.push_back(e.label == 1 ? 1 : 0);
+  }
+  for (const Entity& e : world.corpus.image_unlabeled) {
+    new_ids.push_back(e.id);
+  }
+  auto reports = ValidateResources(*world.registry, pipeline.store(),
+                                   old_ids, old_labels, new_ids);
+  CM_CHECK(reports.ok()) << reports.status();
+  TablePrinter table({"Service", "Cov(old)", "Cov(new)", "Best item F1",
+                      "Marginal shift", "Suspect"});
+  for (const auto& r : *reports) {
+    table.AddRow({r.name, TablePrinter::Num(r.coverage_old, 2),
+                  TablePrinter::Num(r.coverage_new, 2),
+                  TablePrinter::Num(r.best_item_f1, 3),
+                  TablePrinter::Num(r.marginal_shift, 2),
+                  r.suspect ? "YES" : "no"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.command == "generate") {
+    if (args.out.empty()) {
+      PrintUsage();
+      return 2;
+    }
+    return CmdGenerate(args);
+  }
+  if (args.command == "curate") {
+    if (args.out.empty()) {
+      PrintUsage();
+      return 2;
+    }
+    return CmdCurate(args);
+  }
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "audit") return CmdAudit(args);
+  PrintUsage();
+  return 2;
+}
