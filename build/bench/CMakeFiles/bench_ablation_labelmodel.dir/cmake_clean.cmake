@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_labelmodel.dir/bench_ablation_labelmodel.cc.o"
+  "CMakeFiles/bench_ablation_labelmodel.dir/bench_ablation_labelmodel.cc.o.d"
+  "bench_ablation_labelmodel"
+  "bench_ablation_labelmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_labelmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_crossover.dir/bench_fig5_crossover.cc.o"
+  "CMakeFiles/bench_fig5_crossover.dir/bench_fig5_crossover.cc.o.d"
+  "bench_fig5_crossover"
+  "bench_fig5_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

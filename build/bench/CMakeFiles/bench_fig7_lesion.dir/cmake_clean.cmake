@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lesion.dir/bench_fig7_lesion.cc.o"
+  "CMakeFiles/bench_fig7_lesion.dir/bench_fig7_lesion.cc.o.d"
+  "bench_fig7_lesion"
+  "bench_fig7_lesion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lesion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lf_generation.dir/bench_lf_generation.cc.o"
+  "CMakeFiles/bench_lf_generation.dir/bench_lf_generation.cc.o.d"
+  "bench_lf_generation"
+  "bench_lf_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lf_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_labelprop.dir/bench_table3_labelprop.cc.o"
+  "CMakeFiles/bench_table3_labelprop.dir/bench_table3_labelprop.cc.o.d"
+  "bench_table3_labelprop"
+  "bench_table3_labelprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_labelprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_topics.dir/multiclass_topics.cpp.o"
+  "CMakeFiles/multiclass_topics.dir/multiclass_topics.cpp.o.d"
+  "multiclass_topics"
+  "multiclass_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

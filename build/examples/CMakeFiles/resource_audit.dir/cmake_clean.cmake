@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_audit.dir/resource_audit.cpp.o"
+  "CMakeFiles/resource_audit.dir/resource_audit.cpp.o.d"
+  "resource_audit"
+  "resource_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

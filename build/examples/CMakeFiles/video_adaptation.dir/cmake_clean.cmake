@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_adaptation.dir/video_adaptation.cpp.o"
+  "CMakeFiles/video_adaptation.dir/video_adaptation.cpp.o.d"
+  "video_adaptation"
+  "video_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

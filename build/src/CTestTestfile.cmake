@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("features")
+subdirs("synth")
+subdirs("resources")
+subdirs("dataflow")
+subdirs("labeling")
+subdirs("mining")
+subdirs("graph")
+subdirs("ml")
+subdirs("fusion")
+subdirs("core")
+subdirs("extensions")
+subdirs("io")
+subdirs("serving")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_core.dir/baselines.cc.o"
+  "CMakeFiles/cm_core.dir/baselines.cc.o.d"
+  "CMakeFiles/cm_core.dir/evaluation.cc.o"
+  "CMakeFiles/cm_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/cm_core.dir/feature_selection.cc.o"
+  "CMakeFiles/cm_core.dir/feature_selection.cc.o.d"
+  "CMakeFiles/cm_core.dir/pipeline.cc.o"
+  "CMakeFiles/cm_core.dir/pipeline.cc.o.d"
+  "libcm_core.a"
+  "libcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/feature_generation.cc" "src/dataflow/CMakeFiles/cm_dataflow.dir/feature_generation.cc.o" "gcc" "src/dataflow/CMakeFiles/cm_dataflow.dir/feature_generation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resources/CMakeFiles/cm_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cm_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

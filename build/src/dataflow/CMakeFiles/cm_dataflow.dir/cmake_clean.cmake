@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_dataflow.dir/feature_generation.cc.o"
+  "CMakeFiles/cm_dataflow.dir/feature_generation.cc.o.d"
+  "libcm_dataflow.a"
+  "libcm_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

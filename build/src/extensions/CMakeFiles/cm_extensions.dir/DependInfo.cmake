@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extensions/active_learning.cc" "src/extensions/CMakeFiles/cm_extensions.dir/active_learning.cc.o" "gcc" "src/extensions/CMakeFiles/cm_extensions.dir/active_learning.cc.o.d"
+  "/root/repo/src/extensions/domain_adaptation.cc" "src/extensions/CMakeFiles/cm_extensions.dir/domain_adaptation.cc.o" "gcc" "src/extensions/CMakeFiles/cm_extensions.dir/domain_adaptation.cc.o.d"
+  "/root/repo/src/extensions/self_training.cc" "src/extensions/CMakeFiles/cm_extensions.dir/self_training.cc.o" "gcc" "src/extensions/CMakeFiles/cm_extensions.dir/self_training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/cm_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_extensions.dir/active_learning.cc.o"
+  "CMakeFiles/cm_extensions.dir/active_learning.cc.o.d"
+  "CMakeFiles/cm_extensions.dir/domain_adaptation.cc.o"
+  "CMakeFiles/cm_extensions.dir/domain_adaptation.cc.o.d"
+  "CMakeFiles/cm_extensions.dir/self_training.cc.o"
+  "CMakeFiles/cm_extensions.dir/self_training.cc.o.d"
+  "libcm_extensions.a"
+  "libcm_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature_schema.cc" "src/features/CMakeFiles/cm_features.dir/feature_schema.cc.o" "gcc" "src/features/CMakeFiles/cm_features.dir/feature_schema.cc.o.d"
+  "/root/repo/src/features/feature_value.cc" "src/features/CMakeFiles/cm_features.dir/feature_value.cc.o" "gcc" "src/features/CMakeFiles/cm_features.dir/feature_value.cc.o.d"
+  "/root/repo/src/features/feature_vector.cc" "src/features/CMakeFiles/cm_features.dir/feature_vector.cc.o" "gcc" "src/features/CMakeFiles/cm_features.dir/feature_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

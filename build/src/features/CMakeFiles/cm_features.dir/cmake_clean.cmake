@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_features.dir/feature_schema.cc.o"
+  "CMakeFiles/cm_features.dir/feature_schema.cc.o.d"
+  "CMakeFiles/cm_features.dir/feature_value.cc.o"
+  "CMakeFiles/cm_features.dir/feature_value.cc.o.d"
+  "CMakeFiles/cm_features.dir/feature_vector.cc.o"
+  "CMakeFiles/cm_features.dir/feature_vector.cc.o.d"
+  "libcm_features.a"
+  "libcm_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

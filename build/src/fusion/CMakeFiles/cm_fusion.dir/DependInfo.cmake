@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/common.cc" "src/fusion/CMakeFiles/cm_fusion.dir/common.cc.o" "gcc" "src/fusion/CMakeFiles/cm_fusion.dir/common.cc.o.d"
+  "/root/repo/src/fusion/devise.cc" "src/fusion/CMakeFiles/cm_fusion.dir/devise.cc.o" "gcc" "src/fusion/CMakeFiles/cm_fusion.dir/devise.cc.o.d"
+  "/root/repo/src/fusion/early_fusion.cc" "src/fusion/CMakeFiles/cm_fusion.dir/early_fusion.cc.o" "gcc" "src/fusion/CMakeFiles/cm_fusion.dir/early_fusion.cc.o.d"
+  "/root/repo/src/fusion/intermediate_fusion.cc" "src/fusion/CMakeFiles/cm_fusion.dir/intermediate_fusion.cc.o" "gcc" "src/fusion/CMakeFiles/cm_fusion.dir/intermediate_fusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/cm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_fusion.dir/common.cc.o"
+  "CMakeFiles/cm_fusion.dir/common.cc.o.d"
+  "CMakeFiles/cm_fusion.dir/devise.cc.o"
+  "CMakeFiles/cm_fusion.dir/devise.cc.o.d"
+  "CMakeFiles/cm_fusion.dir/early_fusion.cc.o"
+  "CMakeFiles/cm_fusion.dir/early_fusion.cc.o.d"
+  "CMakeFiles/cm_fusion.dir/intermediate_fusion.cc.o"
+  "CMakeFiles/cm_fusion.dir/intermediate_fusion.cc.o.d"
+  "libcm_fusion.a"
+  "libcm_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/knn_graph.cc" "src/graph/CMakeFiles/cm_graph.dir/knn_graph.cc.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/knn_graph.cc.o.d"
+  "/root/repo/src/graph/label_propagation.cc" "src/graph/CMakeFiles/cm_graph.dir/label_propagation.cc.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/label_propagation.cc.o.d"
+  "/root/repo/src/graph/similarity.cc" "src/graph/CMakeFiles/cm_graph.dir/similarity.cc.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/similarity.cc.o.d"
+  "/root/repo/src/graph/similarity_search.cc" "src/graph/CMakeFiles/cm_graph.dir/similarity_search.cc.o" "gcc" "src/graph/CMakeFiles/cm_graph.dir/similarity_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/cm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/cm_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cm_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cm_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_graph.dir/knn_graph.cc.o"
+  "CMakeFiles/cm_graph.dir/knn_graph.cc.o.d"
+  "CMakeFiles/cm_graph.dir/label_propagation.cc.o"
+  "CMakeFiles/cm_graph.dir/label_propagation.cc.o.d"
+  "CMakeFiles/cm_graph.dir/similarity.cc.o"
+  "CMakeFiles/cm_graph.dir/similarity.cc.o.d"
+  "CMakeFiles/cm_graph.dir/similarity_search.cc.o"
+  "CMakeFiles/cm_graph.dir/similarity_search.cc.o.d"
+  "libcm_graph.a"
+  "libcm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

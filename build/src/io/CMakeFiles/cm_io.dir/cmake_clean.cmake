@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_io.dir/artifacts.cc.o"
+  "CMakeFiles/cm_io.dir/artifacts.cc.o.d"
+  "CMakeFiles/cm_io.dir/tsv.cc.o"
+  "CMakeFiles/cm_io.dir/tsv.cc.o.d"
+  "libcm_io.a"
+  "libcm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/label_matrix.cc" "src/labeling/CMakeFiles/cm_labeling.dir/label_matrix.cc.o" "gcc" "src/labeling/CMakeFiles/cm_labeling.dir/label_matrix.cc.o.d"
+  "/root/repo/src/labeling/label_model.cc" "src/labeling/CMakeFiles/cm_labeling.dir/label_model.cc.o" "gcc" "src/labeling/CMakeFiles/cm_labeling.dir/label_model.cc.o.d"
+  "/root/repo/src/labeling/labeling_function.cc" "src/labeling/CMakeFiles/cm_labeling.dir/labeling_function.cc.o" "gcc" "src/labeling/CMakeFiles/cm_labeling.dir/labeling_function.cc.o.d"
+  "/root/repo/src/labeling/lf_quality.cc" "src/labeling/CMakeFiles/cm_labeling.dir/lf_quality.cc.o" "gcc" "src/labeling/CMakeFiles/cm_labeling.dir/lf_quality.cc.o.d"
+  "/root/repo/src/labeling/multiclass.cc" "src/labeling/CMakeFiles/cm_labeling.dir/multiclass.cc.o" "gcc" "src/labeling/CMakeFiles/cm_labeling.dir/multiclass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

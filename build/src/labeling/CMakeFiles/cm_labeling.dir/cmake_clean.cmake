@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_labeling.dir/label_matrix.cc.o"
+  "CMakeFiles/cm_labeling.dir/label_matrix.cc.o.d"
+  "CMakeFiles/cm_labeling.dir/label_model.cc.o"
+  "CMakeFiles/cm_labeling.dir/label_model.cc.o.d"
+  "CMakeFiles/cm_labeling.dir/labeling_function.cc.o"
+  "CMakeFiles/cm_labeling.dir/labeling_function.cc.o.d"
+  "CMakeFiles/cm_labeling.dir/lf_quality.cc.o"
+  "CMakeFiles/cm_labeling.dir/lf_quality.cc.o.d"
+  "CMakeFiles/cm_labeling.dir/multiclass.cc.o"
+  "CMakeFiles/cm_labeling.dir/multiclass.cc.o.d"
+  "libcm_labeling.a"
+  "libcm_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/itemset_miner.cc" "src/mining/CMakeFiles/cm_mining.dir/itemset_miner.cc.o" "gcc" "src/mining/CMakeFiles/cm_mining.dir/itemset_miner.cc.o.d"
+  "/root/repo/src/mining/model_lf_generator.cc" "src/mining/CMakeFiles/cm_mining.dir/model_lf_generator.cc.o" "gcc" "src/mining/CMakeFiles/cm_mining.dir/model_lf_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/labeling/CMakeFiles/cm_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_mining.dir/itemset_miner.cc.o"
+  "CMakeFiles/cm_mining.dir/itemset_miner.cc.o.d"
+  "CMakeFiles/cm_mining.dir/model_lf_generator.cc.o"
+  "CMakeFiles/cm_mining.dir/model_lf_generator.cc.o.d"
+  "libcm_mining.a"
+  "libcm_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

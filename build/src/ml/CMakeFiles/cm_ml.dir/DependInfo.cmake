@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/encoder.cc" "src/ml/CMakeFiles/cm_ml.dir/encoder.cc.o" "gcc" "src/ml/CMakeFiles/cm_ml.dir/encoder.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/cm_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/cm_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/cm_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/cm_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/cm_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/cm_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/softmax_regression.cc" "src/ml/CMakeFiles/cm_ml.dir/softmax_regression.cc.o" "gcc" "src/ml/CMakeFiles/cm_ml.dir/softmax_regression.cc.o.d"
+  "/root/repo/src/ml/trainer.cc" "src/ml/CMakeFiles/cm_ml.dir/trainer.cc.o" "gcc" "src/ml/CMakeFiles/cm_ml.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

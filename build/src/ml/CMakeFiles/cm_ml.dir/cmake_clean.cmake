@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_ml.dir/encoder.cc.o"
+  "CMakeFiles/cm_ml.dir/encoder.cc.o.d"
+  "CMakeFiles/cm_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/cm_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/cm_ml.dir/metrics.cc.o"
+  "CMakeFiles/cm_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/cm_ml.dir/mlp.cc.o"
+  "CMakeFiles/cm_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/cm_ml.dir/softmax_regression.cc.o"
+  "CMakeFiles/cm_ml.dir/softmax_regression.cc.o.d"
+  "CMakeFiles/cm_ml.dir/trainer.cc.o"
+  "CMakeFiles/cm_ml.dir/trainer.cc.o.d"
+  "libcm_ml.a"
+  "libcm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

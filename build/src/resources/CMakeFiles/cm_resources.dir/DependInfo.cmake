@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/embedding_services.cc" "src/resources/CMakeFiles/cm_resources.dir/embedding_services.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/embedding_services.cc.o.d"
+  "/root/repo/src/resources/feature_service.cc" "src/resources/CMakeFiles/cm_resources.dir/feature_service.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/feature_service.cc.o.d"
+  "/root/repo/src/resources/frame_splitter.cc" "src/resources/CMakeFiles/cm_resources.dir/frame_splitter.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/frame_splitter.cc.o.d"
+  "/root/repo/src/resources/keyword_services.cc" "src/resources/CMakeFiles/cm_resources.dir/keyword_services.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/keyword_services.cc.o.d"
+  "/root/repo/src/resources/noise.cc" "src/resources/CMakeFiles/cm_resources.dir/noise.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/noise.cc.o.d"
+  "/root/repo/src/resources/page_services.cc" "src/resources/CMakeFiles/cm_resources.dir/page_services.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/page_services.cc.o.d"
+  "/root/repo/src/resources/registry.cc" "src/resources/CMakeFiles/cm_resources.dir/registry.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/registry.cc.o.d"
+  "/root/repo/src/resources/topic_services.cc" "src/resources/CMakeFiles/cm_resources.dir/topic_services.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/topic_services.cc.o.d"
+  "/root/repo/src/resources/url_services.cc" "src/resources/CMakeFiles/cm_resources.dir/url_services.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/url_services.cc.o.d"
+  "/root/repo/src/resources/validation.cc" "src/resources/CMakeFiles/cm_resources.dir/validation.cc.o" "gcc" "src/resources/CMakeFiles/cm_resources.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/cm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

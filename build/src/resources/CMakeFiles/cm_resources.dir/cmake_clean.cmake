@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_resources.dir/embedding_services.cc.o"
+  "CMakeFiles/cm_resources.dir/embedding_services.cc.o.d"
+  "CMakeFiles/cm_resources.dir/feature_service.cc.o"
+  "CMakeFiles/cm_resources.dir/feature_service.cc.o.d"
+  "CMakeFiles/cm_resources.dir/frame_splitter.cc.o"
+  "CMakeFiles/cm_resources.dir/frame_splitter.cc.o.d"
+  "CMakeFiles/cm_resources.dir/keyword_services.cc.o"
+  "CMakeFiles/cm_resources.dir/keyword_services.cc.o.d"
+  "CMakeFiles/cm_resources.dir/noise.cc.o"
+  "CMakeFiles/cm_resources.dir/noise.cc.o.d"
+  "CMakeFiles/cm_resources.dir/page_services.cc.o"
+  "CMakeFiles/cm_resources.dir/page_services.cc.o.d"
+  "CMakeFiles/cm_resources.dir/registry.cc.o"
+  "CMakeFiles/cm_resources.dir/registry.cc.o.d"
+  "CMakeFiles/cm_resources.dir/topic_services.cc.o"
+  "CMakeFiles/cm_resources.dir/topic_services.cc.o.d"
+  "CMakeFiles/cm_resources.dir/url_services.cc.o"
+  "CMakeFiles/cm_resources.dir/url_services.cc.o.d"
+  "CMakeFiles/cm_resources.dir/validation.cc.o"
+  "CMakeFiles/cm_resources.dir/validation.cc.o.d"
+  "libcm_resources.a"
+  "libcm_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_serving.dir/model_server.cc.o"
+  "CMakeFiles/cm_serving.dir/model_server.cc.o.d"
+  "libcm_serving.a"
+  "libcm_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

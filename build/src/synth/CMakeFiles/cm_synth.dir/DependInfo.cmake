@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/corpus_generator.cc" "src/synth/CMakeFiles/cm_synth.dir/corpus_generator.cc.o" "gcc" "src/synth/CMakeFiles/cm_synth.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/synth/task_spec.cc" "src/synth/CMakeFiles/cm_synth.dir/task_spec.cc.o" "gcc" "src/synth/CMakeFiles/cm_synth.dir/task_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

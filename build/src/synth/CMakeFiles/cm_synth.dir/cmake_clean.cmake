@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_synth.dir/corpus_generator.cc.o"
+  "CMakeFiles/cm_synth.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/cm_synth.dir/task_spec.cc.o"
+  "CMakeFiles/cm_synth.dir/task_spec.cc.o.d"
+  "libcm_synth.a"
+  "libcm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_util.dir/logging.cc.o"
+  "CMakeFiles/cm_util.dir/logging.cc.o.d"
+  "CMakeFiles/cm_util.dir/random.cc.o"
+  "CMakeFiles/cm_util.dir/random.cc.o.d"
+  "CMakeFiles/cm_util.dir/status.cc.o"
+  "CMakeFiles/cm_util.dir/status.cc.o.d"
+  "CMakeFiles/cm_util.dir/table_printer.cc.o"
+  "CMakeFiles/cm_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/cm_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cm_util.dir/thread_pool.cc.o.d"
+  "libcm_util.a"
+  "libcm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

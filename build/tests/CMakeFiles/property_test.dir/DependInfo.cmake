@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/cm_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/cm_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/cm_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/cm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/cm_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/cm_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/cm_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmctl.dir/cmctl.cc.o"
+  "CMakeFiles/cmctl.dir/cmctl.cc.o.d"
+  "cmctl"
+  "cmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
