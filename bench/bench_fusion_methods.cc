@@ -26,7 +26,6 @@ int main() {
     auto curation = pipeline.CurateTrainingData();
     CM_CHECK(curation.ok()) << curation.status();
     const FeatureStore& store = pipeline.store();
-    const auto& sel = pipeline.selection();
 
     const FusionInput input = BuildFusionInput(
         ctx, store, pipeline.selection(), curation->weak_labels);

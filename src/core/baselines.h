@@ -18,21 +18,21 @@ namespace crossmodal {
 /// Trains a fully supervised image model on the first `budget` points of
 /// the corpus's hand-labeled pool (0 = the whole pool), using exactly
 /// `features`. The returned model scores image rows masked to `features`.
-Result<CrossModalModelPtr> TrainFullySupervisedImage(
+[[nodiscard]] Result<CrossModalModelPtr> TrainFullySupervisedImage(
     const Corpus& corpus, const FeatureStore& store,
     const std::vector<FeatureId>& features, size_t budget,
     const ModelSpec& spec);
 
 /// Trains on labeled text only and serves on image rows through the shared
 /// feature subset (the §6.6 "Text Only" lesion arm).
-Result<CrossModalModelPtr> TrainTextOnly(const Corpus& corpus,
+[[nodiscard]] Result<CrossModalModelPtr> TrainTextOnly(const Corpus& corpus,
                                          const FeatureStore& store,
                                          const std::vector<FeatureId>& features,
                                          const ModelSpec& spec);
 
 /// Trains on the weakly supervised image points only (the §6.6 "Image Only"
 /// lesion arm). `weak_labels` come from a pipeline's curation step.
-Result<CrossModalModelPtr> TrainImageOnlyWeak(
+[[nodiscard]] Result<CrossModalModelPtr> TrainImageOnlyWeak(
     const std::vector<ProbabilisticLabel>& weak_labels,
     const FeatureStore& store, const std::vector<FeatureId>& features,
     const ModelSpec& spec, bool drop_uncovered = true);

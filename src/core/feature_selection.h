@@ -56,7 +56,7 @@ struct FeatureSelection {
 
 /// Resolves options against a schema. Fails when a named embedding feature
 /// does not exist.
-Result<FeatureSelection> SelectFeatures(const FeatureSchema& schema,
+[[nodiscard]] Result<FeatureSelection> SelectFeatures(const FeatureSchema& schema,
                                         const FeatureSelectionOptions& options);
 
 }  // namespace crossmodal

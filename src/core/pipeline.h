@@ -108,13 +108,13 @@ class CrossModalPipeline {
                      PipelineConfig config);
 
   /// Runs steps A-C and returns the fitted cross-modal model + artifacts.
-  Result<PipelineResult> Run();
+  [[nodiscard]] Result<PipelineResult> Run();
 
   /// Runs only step A (idempotent; Run() calls it internally).
-  Status GenerateFeatureSpace();
+  [[nodiscard]] Status GenerateFeatureSpace();
 
   /// Runs step B against the generated features (Run() calls it).
-  Result<CurationArtifacts> CurateTrainingData();
+  [[nodiscard]] Result<CurationArtifacts> CurateTrainingData();
 
   /// The materialized common feature space (valid after
   /// GenerateFeatureSpace()).
@@ -127,7 +127,7 @@ class CrossModalPipeline {
   const PipelineConfig& config() const { return config_; }
 
  private:
-  Result<std::vector<LabelingFunctionPtr>> BuildLabelPropagationLF(
+  [[nodiscard]] Result<std::vector<LabelingFunctionPtr>> BuildLabelPropagationLF(
       const std::vector<const Entity*>& dev_entities,
       CurationArtifacts* artifacts);
 

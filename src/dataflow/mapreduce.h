@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace crossmodal {
@@ -37,11 +39,20 @@ class Emitter {
   std::vector<std::vector<std::pair<K, V>>> shards_;
 };
 
+/// Cumulative execution counters for one MapReduceExecutor.
+struct MapReduceStats {
+  size_t jobs = 0;            ///< Run/ParallelMap invocations completed.
+  size_t records_mapped = 0;  ///< Inputs fed through map functions.
+};
+
 /// Deterministic multi-threaded MapReduce over in-memory collections.
 ///
 /// Results are returned grouped by shard then by key insertion order, so a
 /// fixed input yields a fixed output ordering regardless of thread timing
 /// (workers own disjoint input chunks and merge in chunk order).
+///
+/// Thread-safe: concurrent Run/ParallelMap calls share the pool; the stats
+/// counters are mutex-guarded (workers touch only per-chunk state).
 class MapReduceExecutor {
  public:
   /// `num_workers` threads, shuffling into `num_shards` shards.
@@ -107,6 +118,7 @@ class MapReduceExecutor {
       out.insert(out.end(), std::make_move_iterator(so.begin()),
                  std::make_move_iterator(so.end()));
     }
+    RecordJob(n);
     return out;
   }
 
@@ -118,11 +130,18 @@ class MapReduceExecutor {
     std::vector<Out> out(inputs.size());
     pool_.ParallelFor(inputs.size(),
                       [&](size_t i) { out[i] = fn(inputs[i]); });
+    RecordJob(inputs.size());
     return out;
   }
 
   size_t num_shards() const { return num_shards_; }
   ThreadPool& pool() { return pool_; }
+
+  /// Snapshot of the cumulative execution counters.
+  MapReduceStats stats() const CM_LOCKS_EXCLUDED(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    return stats_;
+  }
 
  private:
   size_t ChunkSize(size_t n) const {
@@ -130,8 +149,16 @@ class MapReduceExecutor {
     return std::max<size_t>(1, (n + workers * 4 - 1) / (workers * 4));
   }
 
+  void RecordJob(size_t records) CM_LOCKS_EXCLUDED(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.jobs;
+    stats_.records_mapped += records;
+  }
+
   ThreadPool pool_;
   size_t num_shards_;
+  mutable Mutex stats_mu_;
+  MapReduceStats stats_ CM_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace crossmodal

@@ -54,7 +54,7 @@ struct ActiveLearningResult {
 /// labels); reviewed points are appended as hard-labeled image points (any
 /// weak version of the same entity is replaced). Fails if candidates or the
 /// training input are empty.
-Result<ActiveLearningResult> RunActiveLearning(
+[[nodiscard]] Result<ActiveLearningResult> RunActiveLearning(
     const FusionInput& base_input, const std::vector<EntityId>& candidates,
     const LabelOracle& oracle, const ModelSpec& spec,
     const ActiveLearningOptions& options);

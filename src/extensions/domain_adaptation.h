@@ -46,7 +46,7 @@ struct DomainAdaptationReport {
 /// renormalized so the text channel's total mass is preserved (the
 /// correction changes the *shape* of the text distribution, not its size).
 /// Fails when either modality has no points.
-Result<DomainAdaptationReport> ReweightOldModality(
+[[nodiscard]] Result<DomainAdaptationReport> ReweightOldModality(
     FusionInput* input, const DomainAdaptationOptions& options);
 
 }  // namespace crossmodal

@@ -38,7 +38,7 @@ struct SelfTrainingResult {
 /// Runs `rounds` of predict -> adopt-confident -> retrain over the
 /// candidate pool. Adopted entities replace their weak-label versions in
 /// the training set. Fails on empty inputs or inverted thresholds.
-Result<SelfTrainingResult> RunSelfTraining(
+[[nodiscard]] Result<SelfTrainingResult> RunSelfTraining(
     const FusionInput& base_input, const std::vector<EntityId>& candidates,
     const ModelSpec& spec, const SelfTrainingOptions& options);
 

@@ -52,7 +52,7 @@ class FeatureSchema {
   FeatureSchema() = default;
 
   /// Appends a feature; fails if the name already exists.
-  Result<FeatureId> Add(FeatureDef def);
+  [[nodiscard]] Result<FeatureId> Add(FeatureDef def);
 
   /// Number of features.
   size_t size() const { return defs_.size(); }
@@ -62,7 +62,7 @@ class FeatureSchema {
   const FeatureDef& def(FeatureId id) const;
 
   /// Finds a feature id by name.
-  Result<FeatureId> Find(const std::string& name) const;
+  [[nodiscard]] Result<FeatureId> Find(const std::string& name) const;
 
   /// All feature ids belonging to the given service sets, optionally
   /// restricted to servable features and/or a modality.

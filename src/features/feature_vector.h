@@ -58,7 +58,7 @@ class FeatureStore {
   void Put(EntityId entity, FeatureVector row);
 
   /// Looks up a row.
-  Result<const FeatureVector*> Get(EntityId entity) const;
+  [[nodiscard]] Result<const FeatureVector*> Get(EntityId entity) const;
 
   bool Contains(EntityId entity) const { return rows_.count(entity) > 0; }
   size_t size() const { return rows_.size(); }

@@ -64,15 +64,15 @@ enum class FusionMethod { kEarly = 0, kIntermediate = 1, kDeViSE = 2 };
 
 const char* FusionMethodName(FusionMethod method);
 
-Result<CrossModalModelPtr> TrainEarlyFusion(const FusionInput& input,
+[[nodiscard]] Result<CrossModalModelPtr> TrainEarlyFusion(const FusionInput& input,
                                             const ModelSpec& spec);
-Result<CrossModalModelPtr> TrainIntermediateFusion(const FusionInput& input,
+[[nodiscard]] Result<CrossModalModelPtr> TrainIntermediateFusion(const FusionInput& input,
                                                    const ModelSpec& spec);
-Result<CrossModalModelPtr> TrainDeViSE(const FusionInput& input,
+[[nodiscard]] Result<CrossModalModelPtr> TrainDeViSE(const FusionInput& input,
                                        const ModelSpec& spec);
 
 /// Dispatches on `method`.
-Result<CrossModalModelPtr> TrainFused(const FusionInput& input,
+[[nodiscard]] Result<CrossModalModelPtr> TrainFused(const FusionInput& input,
                                       const ModelSpec& spec,
                                       FusionMethod method);
 

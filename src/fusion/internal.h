@@ -21,7 +21,7 @@ struct MaskedRows {
 /// Collects rows for the selected points (all modalities when `modality` is
 /// nullptr), masking each row to the features its own modality may see when
 /// `per_modality_mask` is true, or to `fixed_mask` otherwise.
-Result<MaskedRows> CollectRows(const FusionInput& input,
+[[nodiscard]] Result<MaskedRows> CollectRows(const FusionInput& input,
                                const Modality* modality,
                                bool per_modality_mask,
                                const std::vector<FeatureId>& fixed_mask);

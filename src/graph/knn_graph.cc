@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace crossmodal {
 
@@ -115,6 +115,8 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
   // Symmetrize: union of both directions.
   for (size_t i = 0; i < n; ++i) {
     for (const auto& [w, j] : best[i]) {
+      CM_DCHECK_LT(j, n);
+      CM_DCHECK_NE(static_cast<size_t>(j), i);
       graph.adjacency[i].emplace_back(j, w);
       graph.adjacency[j].emplace_back(static_cast<uint32_t>(i), w);
     }

@@ -41,7 +41,7 @@ struct PropagationResult {
 /// Runs label propagation. `seeds` maps labeled entities (graph nodes) to
 /// their label in {0, 1}. Fails when the graph is empty or no seed matches
 /// a node.
-Result<PropagationResult> PropagateLabels(
+[[nodiscard]] Result<PropagationResult> PropagateLabels(
     const SimilarityGraph& graph,
     const std::unordered_map<EntityId, double>& seeds,
     const PropagationOptions& options = PropagationOptions());
@@ -51,7 +51,7 @@ Result<PropagationResult> PropagateLabels(
 /// reduce: weighted average per node) — the execution shape of Expander's
 /// streaming label propagation [48, 49]. Numerically equivalent to
 /// PropagateLabels up to floating-point summation order.
-Result<PropagationResult> PropagateLabelsDistributed(
+[[nodiscard]] Result<PropagationResult> PropagateLabelsDistributed(
     const SimilarityGraph& graph,
     const std::unordered_map<EntityId, double>& seeds,
     const PropagationOptions& options = PropagationOptions(),

@@ -41,7 +41,7 @@ class SimilarityIndex {
  public:
   /// Builds the inverted-index blocking structure. Every entity must have a
   /// row in `store`; `similarity` should already be normalization-fitted.
-  static Result<SimilarityIndex> Build(const std::vector<EntityId>& entities,
+  [[nodiscard]] static Result<SimilarityIndex> Build(const std::vector<EntityId>& entities,
                                        const FeatureStore& store,
                                        FeatureSimilarity similarity,
                                        SimilarityIndexOptions options =
@@ -79,7 +79,7 @@ struct Clustering {
 /// chosen by `features`; rows densified through a FeatureEncoder fit on the
 /// same rows). Deterministic k-means++ seeding. Fails when k exceeds the
 /// number of entities or the rows cannot be encoded.
-Result<Clustering> ClusterEntities(const std::vector<EntityId>& entities,
+[[nodiscard]] Result<Clustering> ClusterEntities(const std::vector<EntityId>& entities,
                                    const FeatureStore& store,
                                    const std::vector<FeatureId>& features,
                                    int k, int max_iterations = 50,

@@ -24,35 +24,35 @@ namespace crossmodal {
 std::string EncodeFeatureValue(const FeatureValue& value);
 
 /// Inverse of EncodeFeatureValue; fails on malformed input.
-Result<FeatureValue> DecodeFeatureValue(const std::string& text);
+[[nodiscard]] Result<FeatureValue> DecodeFeatureValue(const std::string& text);
 
 /// Writes a schema as TSV: name, type, set, cardinality, modalities,
 /// servable — one feature per line, with a header.
-Status WriteSchemaTsv(const FeatureSchema& schema, const std::string& path);
+[[nodiscard]] Status WriteSchemaTsv(const FeatureSchema& schema, const std::string& path);
 
 /// Reads a schema written by WriteSchemaTsv.
-Result<FeatureSchema> ReadSchemaTsv(const std::string& path);
+[[nodiscard]] Result<FeatureSchema> ReadSchemaTsv(const std::string& path);
 
 /// Writes a feature store as TSV: entity id + one encoded value per
 /// feature, columns in schema order, with a header naming the features.
-Status WriteFeatureStoreTsv(const FeatureStore& store,
+[[nodiscard]] Status WriteFeatureStoreTsv(const FeatureStore& store,
                             const std::string& path);
 
 /// Reads rows written by WriteFeatureStoreTsv into a store over `schema`
 /// (which must match the file's column names).
-Result<FeatureStore> ReadFeatureStoreTsv(const FeatureSchema* schema,
+[[nodiscard]] Result<FeatureStore> ReadFeatureStoreTsv(const FeatureSchema* schema,
                                          const std::string& path);
 
 /// Writes probabilistic labels as TSV: entity, p_positive, covered.
-Status WriteWeakLabelsTsv(const std::vector<ProbabilisticLabel>& labels,
+[[nodiscard]] Status WriteWeakLabelsTsv(const std::vector<ProbabilisticLabel>& labels,
                           const std::string& path);
 
 /// Reads labels written by WriteWeakLabelsTsv.
-Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
+[[nodiscard]] Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
     const std::string& path);
 
 /// Writes a PR curve as CSV (threshold, precision, recall).
-Status WritePrCurveCsv(const std::vector<PrPoint>& curve,
+[[nodiscard]] Status WritePrCurveCsv(const std::vector<PrPoint>& curve,
                        const std::string& path);
 
 }  // namespace crossmodal

@@ -23,11 +23,11 @@ std::string TsvJoin(const std::vector<std::string>& fields);
 std::vector<std::string> TsvSplit(const std::string& line);
 
 /// Writes lines (LF-terminated) to a file, replacing it.
-Status WriteLines(const std::string& path,
+[[nodiscard]] Status WriteLines(const std::string& path,
                   const std::vector<std::string>& lines);
 
 /// Reads all LF-separated lines from a file (no trailing empty line).
-Result<std::vector<std::string>> ReadLines(const std::string& path);
+[[nodiscard]] Result<std::vector<std::string>> ReadLines(const std::string& path);
 
 }  // namespace crossmodal
 

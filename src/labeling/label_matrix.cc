@@ -1,6 +1,6 @@
 #include "labeling/label_matrix.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace crossmodal {
 
@@ -11,13 +11,18 @@ LabelMatrix::LabelMatrix(std::vector<EntityId> entity_ids,
                 static_cast<int8_t>(Vote::kAbstain));
 }
 
+// at/set sit inside per-(row, lf) inner loops of every coverage/conflict
+// statistic, so their bounds checks are debug-only (active under the
+// sanitizer presets, compiled out under Release/NDEBUG).
 Vote LabelMatrix::at(size_t row, size_t lf) const {
-  CM_CHECK(row < num_rows() && lf < num_lfs());
+  CM_DCHECK_LT(row, num_rows());
+  CM_DCHECK_LT(lf, num_lfs());
   return static_cast<Vote>(votes_[row * num_lfs() + lf]);
 }
 
 void LabelMatrix::set(size_t row, size_t lf, Vote v) {
-  CM_CHECK(row < num_rows() && lf < num_lfs());
+  CM_DCHECK_LT(row, num_rows());
+  CM_DCHECK_LT(lf, num_lfs());
   votes_[row * num_lfs() + lf] = static_cast<int8_t>(v);
 }
 

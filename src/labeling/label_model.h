@@ -72,7 +72,7 @@ class GenerativeLabelModel {
  public:
   /// Fits the model to a label matrix. Fails when the matrix has no LFs or
   /// no covered rows.
-  static Result<GenerativeLabelModel> Fit(
+  [[nodiscard]] static Result<GenerativeLabelModel> Fit(
       const LabelMatrix& matrix,
       const GenerativeModelOptions& options = GenerativeModelOptions());
 

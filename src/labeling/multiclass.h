@@ -105,7 +105,7 @@ struct MulticlassModelOptions {
 class MulticlassLabelModel {
  public:
   /// Fits theta_j[y][v] = P(lf j votes v | true class y) by anchored EM.
-  static Result<MulticlassLabelModel> Fit(
+  [[nodiscard]] static Result<MulticlassLabelModel> Fit(
       const MulticlassLabelMatrix& matrix,
       const MulticlassModelOptions& options = MulticlassModelOptions());
 

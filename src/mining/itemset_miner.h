@@ -78,7 +78,7 @@ class ItemsetMiner {
 
   /// Mines LFs from dev rows and binary labels (1 positive / 0 negative).
   /// Fails when the dev set is empty or single-class.
-  Result<MiningResult> MineLFs(const std::vector<const FeatureVector*>& rows,
+  [[nodiscard]] Result<MiningResult> MineLFs(const std::vector<const FeatureVector*>& rows,
                                const std::vector<int>& labels) const;
 
  private:

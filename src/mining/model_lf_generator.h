@@ -54,7 +54,7 @@ class ModelLfGenerator {
   ModelLfGenerator(const FeatureSchema* schema, ModelLfOptions options);
 
   /// Runs the committee loop over dev rows/labels (labels in {0,1}).
-  Result<ModelLfResult> Generate(
+  [[nodiscard]] Result<ModelLfResult> Generate(
       const std::vector<const FeatureVector*>& rows,
       const std::vector<int>& labels) const;
 

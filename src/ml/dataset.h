@@ -8,18 +8,27 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
+
 namespace crossmodal {
 
 /// A sparse feature row: (index, value) pairs, indices strictly increasing.
 struct SparseRow {
   std::vector<std::pair<uint32_t, float>> entries;
 
-  void Add(uint32_t index, float value) { entries.emplace_back(index, value); }
+  void Add(uint32_t index, float value) {
+    CM_DCHECK(entries.empty() || index > entries.back().first)
+        << "sparse indices must be strictly increasing";
+    entries.emplace_back(index, value);
+  }
 
   /// Dot product with a dense weight vector.
   double Dot(const std::vector<double>& weights) const {
     double acc = 0.0;
-    for (const auto& [i, v] : entries) acc += weights[i] * v;
+    for (const auto& [i, v] : entries) {
+      CM_DCHECK_LT(i, weights.size());
+      acc += weights[i] * v;
+    }
     return acc;
   }
 };

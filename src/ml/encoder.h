@@ -34,7 +34,7 @@ class FeatureEncoder {
  public:
   /// Fits numeric standardization on `rows` (typically the training split).
   /// Fails when options.features is empty or names an unknown feature.
-  static Result<FeatureEncoder> Fit(const FeatureSchema& schema,
+  [[nodiscard]] static Result<FeatureEncoder> Fit(const FeatureSchema& schema,
                                     const std::vector<const FeatureVector*>& rows,
                                     EncoderOptions options);
 

@@ -14,7 +14,7 @@ class LogisticRegression : public Model {
  public:
   /// Trains on `data` (soft targets) with the given options. Fails on an
   /// empty dataset.
-  static Result<LogisticRegression> Train(const Dataset& data,
+  [[nodiscard]] static Result<LogisticRegression> Train(const Dataset& data,
                                           const TrainOptions& options);
 
   double Predict(const SparseRow& x) const override;

@@ -22,7 +22,7 @@ struct MlpOptions {
 class Mlp : public Model {
  public:
   /// Trains on `data`; fails on an empty dataset or empty hidden spec.
-  static Result<Mlp> Train(const Dataset& data, const MlpOptions& options);
+  [[nodiscard]] static Result<Mlp> Train(const Dataset& data, const MlpOptions& options);
 
   double Predict(const SparseRow& x) const override;
   /// Last hidden layer activations (the embedding fusion architectures use).

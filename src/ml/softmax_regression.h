@@ -31,7 +31,7 @@ struct MulticlassDataset {
 class SoftmaxRegression {
  public:
   /// Trains on `data`; fails on empty data or inconsistent targets.
-  static Result<SoftmaxRegression> Train(const MulticlassDataset& data,
+  [[nodiscard]] static Result<SoftmaxRegression> Train(const MulticlassDataset& data,
                                          const TrainOptions& options);
 
   /// Class probability distribution for a row.

@@ -27,7 +27,7 @@ struct ModelSpec {
 };
 
 /// Trains the specified model on `data`.
-Result<ModelPtr> TrainModel(const Dataset& data, const ModelSpec& spec);
+[[nodiscard]] Result<ModelPtr> TrainModel(const Dataset& data, const ModelSpec& spec);
 
 /// Grid-search tuning configuration.
 struct TunerOptions {
@@ -46,7 +46,7 @@ struct TuneResult {
 
 /// Deterministic grid search maximizing validation AUPRC (validation targets
 /// must be hard labels). The stand-in for the paper's Vizier service.
-Result<TuneResult> GridSearch(const Dataset& train, const Dataset& val,
+[[nodiscard]] Result<TuneResult> GridSearch(const Dataset& train, const Dataset& val,
                               const ModelSpec& base,
                               const TunerOptions& options);
 

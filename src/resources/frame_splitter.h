@@ -20,7 +20,7 @@ class VideoFrameSplitter {
       : max_frames_(max_frames) {}
 
   /// Fails unless `video` is a video entity with at least one frame.
-  Result<std::vector<Entity>> Split(const Entity& video) const;
+  [[nodiscard]] Result<std::vector<Entity>> Split(const Entity& video) const;
 
   /// Id of frame `k` of video `video_id` (stable derivation).
   static EntityId FrameId(EntityId video_id, size_t k);

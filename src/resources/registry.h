@@ -27,7 +27,7 @@ class ResourceRegistry {
 
   /// Registers a service; its output feature is appended to the schema.
   /// Fails on duplicate feature names.
-  Status Register(FeatureServicePtr service);
+  [[nodiscard]] Status Register(FeatureServicePtr service);
 
   /// The induced common feature space.
   const FeatureSchema& schema() const { return schema_; }
@@ -55,7 +55,7 @@ class ResourceRegistry {
 ///   D: page_category, kg_entities, object_labels, user_report_count,
 ///      content_risk_score (nonservable)
 ///   image: proprietary_embedding, generic_embedding, image_quality
-Result<ResourceRegistry> BuildModerationRegistry(const CorpusGenerator& gen,
+[[nodiscard]] Result<ResourceRegistry> BuildModerationRegistry(const CorpusGenerator& gen,
                                                  uint64_t seed);
 
 }  // namespace crossmodal

@@ -61,7 +61,7 @@ struct ValidationOptions {
 /// Audits every feature of `registry` against labeled old-modality rows
 /// (`dev_entities`/`dev_labels`) and unlabeled new-modality rows, all of
 /// which must be present in `store`.
-Result<std::vector<ResourceQualityReport>> ValidateResources(
+[[nodiscard]] Result<std::vector<ResourceQualityReport>> ValidateResources(
     const ResourceRegistry& registry, const FeatureStore& store,
     const std::vector<EntityId>& old_entities,
     const std::vector<int>& old_labels,

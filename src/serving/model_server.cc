@@ -39,7 +39,8 @@ ModelServer::ModelServer(CrossModalModelPtr model,
     : model_(std::move(model)),
       schema_(schema),
       serving_features_(std::move(serving_features)),
-      options_(options) {
+      options_(options),
+      stats_mu_(std::make_unique<Mutex>()) {
   for (size_t f = 0; f < schema_->size(); ++f) {
     if (!schema_->def(static_cast<FeatureId>(f)).servable) {
       nonservable_.push_back(static_cast<FeatureId>(f));
@@ -75,7 +76,9 @@ double ModelServer::ScoreInternal(const FeatureVector& row) {
 double ModelServer::Score(const FeatureVector& row) {
   Timer timer;
   const double score = ScoreInternal(row);
-  latencies_us_.push_back(timer.ElapsedSeconds() * 1e6);
+  const double elapsed_us = timer.ElapsedSeconds() * 1e6;
+  MutexLock lock(stats_mu_.get());
+  latencies_us_.push_back(elapsed_us);
   return score;
 }
 
@@ -90,11 +93,20 @@ std::vector<double> ModelServer::ScoreBatch(
   return out;
 }
 
+size_t ModelServer::requests() const {
+  MutexLock lock(stats_mu_.get());
+  return latencies_us_.size();
+}
+
 LatencyStats ModelServer::latency() const {
+  std::vector<double> sorted;
+  {
+    MutexLock lock(stats_mu_.get());
+    sorted = latencies_us_;
+  }
   LatencyStats stats;
-  stats.count = latencies_us_.size();
-  if (latencies_us_.empty()) return stats;
-  std::vector<double> sorted = latencies_us_;
+  stats.count = sorted.size();
+  if (sorted.empty()) return stats;
   std::sort(sorted.begin(), sorted.end());
   double total = 0.0;
   for (double v : sorted) total += v;

@@ -12,12 +12,15 @@
 #define CROSSMODAL_SERVING_MODEL_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "features/feature_schema.h"
 #include "features/feature_vector.h"
 #include "fusion/fusion.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace crossmodal {
 
@@ -42,27 +45,34 @@ struct LatencyStats {
 };
 
 /// Owns a fitted model and serves scores over feature rows.
+///
+/// Thread-safe: Score/ScoreBatch may be called concurrently from many
+/// request threads (the fitted model is immutable after Create; the latency
+/// log is mutex-guarded).
 class ModelServer {
  public:
   /// Validates `serving_features` (the features the deployed model reads)
   /// against the schema's servability flags. Fails with FailedPrecondition
   /// naming the offending feature when enforcement is on.
-  static Result<ModelServer> Create(CrossModalModelPtr model,
+  [[nodiscard]] static Result<ModelServer> Create(CrossModalModelPtr model,
                                     const FeatureSchema* schema,
                                     std::vector<FeatureId> serving_features,
                                     ServingOptions options = ServingOptions());
 
+  ModelServer(ModelServer&&) = default;
+  ModelServer& operator=(ModelServer&&) = default;
+
   /// Scores one row (latency recorded).
-  double Score(const FeatureVector& row);
+  double Score(const FeatureVector& row) CM_LOCKS_EXCLUDED(stats_mu_);
 
   /// Scores a batch in order.
   std::vector<double> ScoreBatch(const std::vector<const FeatureVector*>& rows);
 
   /// Latency summary over all requests so far.
-  LatencyStats latency() const;
+  LatencyStats latency() const CM_LOCKS_EXCLUDED(stats_mu_);
 
   /// Requests served.
-  size_t requests() const { return latencies_us_.size(); }
+  size_t requests() const CM_LOCKS_EXCLUDED(stats_mu_);
 
  private:
   ModelServer(CrossModalModelPtr model, const FeatureSchema* schema,
@@ -75,7 +85,10 @@ class ModelServer {
   std::vector<FeatureId> serving_features_;
   std::vector<FeatureId> nonservable_;  // ids to strip from inputs
   ServingOptions options_;
-  std::vector<double> latencies_us_;
+  // unique_ptr keeps ModelServer movable (Result<ModelServer> needs it)
+  // while giving the latency log a stable, annotated lock.
+  std::unique_ptr<Mutex> stats_mu_;
+  std::vector<double> latencies_us_ CM_GUARDED_BY(*stats_mu_);
 };
 
 }  // namespace crossmodal

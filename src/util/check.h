@@ -1,0 +1,36 @@
+// Debug-build invariant checks (CM_DCHECK*) for bounds-sensitive hot paths.
+//
+// CM_CHECK (util/logging.h) stays on in every build mode and belongs on
+// cheap, memory-safety-critical guards. CM_DCHECK compiles to nothing under
+// NDEBUG (the Release preset), so it can sit inside per-element inner loops
+// — label-matrix vote access, sparse dot products, adjacency construction —
+// where an always-on branch would be measurable. The sanitizer presets build
+// without NDEBUG, so ASan/UBSan/TSan runs exercise every DCHECK.
+
+#ifndef CROSSMODAL_UTIL_CHECK_H_
+#define CROSSMODAL_UTIL_CHECK_H_
+
+#include "util/logging.h"
+
+/// Aborts with a message when `cond` is false, debug builds only. Streams
+/// like CM_CHECK: CM_DCHECK(i < n) << "scanning " << name;
+/// Operands must be side-effect free: under NDEBUG nothing is evaluated.
+#ifndef NDEBUG
+#define CM_DCHECK(cond) CM_CHECK(cond)
+#else
+#define CM_DCHECK(cond) \
+  while (false) CM_CHECK(cond)
+#endif
+
+/// Binary comparison forms; both operands appear in the failure message.
+#define CM_DCHECK_OP(op, a, b) \
+  CM_DCHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ")"
+
+#define CM_DCHECK_EQ(a, b) CM_DCHECK_OP(==, a, b)
+#define CM_DCHECK_NE(a, b) CM_DCHECK_OP(!=, a, b)
+#define CM_DCHECK_LT(a, b) CM_DCHECK_OP(<, a, b)
+#define CM_DCHECK_LE(a, b) CM_DCHECK_OP(<=, a, b)
+#define CM_DCHECK_GT(a, b) CM_DCHECK_OP(>, a, b)
+#define CM_DCHECK_GE(a, b) CM_DCHECK_OP(>=, a, b)
+
+#endif  // CROSSMODAL_UTIL_CHECK_H_

@@ -3,14 +3,15 @@
 #ifndef CROSSMODAL_UTIL_THREAD_POOL_H_
 #define CROSSMODAL_UTIL_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace crossmodal {
 
@@ -29,28 +30,32 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task. May be called from worker threads.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CM_LOCKS_EXCLUDED(mu_);
 
   /// Blocks until every task submitted so far (including tasks they spawn)
-  /// has completed.
-  void Wait();
+  /// has completed. Must not be called from a worker thread (it would wait
+  /// for its own task to finish).
+  void Wait() CM_LOCKS_EXCLUDED(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   /// Work is chunked to limit scheduling overhead.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      CM_LOCKS_EXCLUDED(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CM_LOCKS_EXCLUDED(mu_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  size_t in_flight_ = 0;  // queued + running tasks
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ CM_GUARDED_BY(mu_);
+  // condition_variable_any waits directly on MutexLock (see util/mutex.h),
+  // keeping the annotated capability in view of the analysis.
+  std::condition_variable_any work_available_;
+  std::condition_variable_any idle_;
+  size_t in_flight_ CM_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool shutting_down_ CM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace crossmodal

@@ -1,3 +1,6 @@
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/logging.h"
@@ -111,6 +114,34 @@ TEST_F(ServingTest, StripsNonservableInputs) {
     if (!v.is_missing()) without_risk.Set(static_cast<FeatureId>(f), v);
   }
   EXPECT_DOUBLE_EQ(server->Score(with_risk), server->Score(without_risk));
+}
+
+TEST_F(ServingTest, ConcurrentScoringIsThreadSafe) {
+  // Many request threads score through one server; the latency log is the
+  // shared state (TSan verifies the locking under the tsan preset).
+  auto server = ModelServer::Create(
+      std::move(model_), &registry_->schema(),
+      pipeline_->selection().image_model_features);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const FeatureVector& row =
+      **pipeline_->store().Get(corpus_.image_test[0].id);
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 50;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &row] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const double s = server->Score(row);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(server->requests(), static_cast<size_t>(kThreads) *
+                                    kRequestsPerThread);
+  EXPECT_EQ(server->latency().count, server->requests());
 }
 
 TEST_F(ServingTest, CreateValidatesArguments) {

@@ -1,0 +1,488 @@
+// cmlint: repo-convention linter for library code under src/.
+//
+// The compiler enforces warnings; cmlint enforces the conventions it cannot
+// see. Rules (each suppressible per-file via the allowlist):
+//
+//   include-guard   .h guards must be CROSSMODAL_<DIR>_<FILE>_H_ (path
+//                   relative to src/), with a matching #define.
+//   file-comment    every header starts with a top-of-file // doc comment.
+//   nodiscard       Status / Result<T>-returning declarations in headers
+//                   must be marked [[nodiscard]] (a dropped Status is a
+//                   silently swallowed data-corruption signal).
+//   banned-call     library code may not call rand() (use util/random.h),
+//                   write to std::cout (use util/logging.h or return data),
+//                   or use naked new / delete (use smart pointers).
+//
+// Usage:
+//   cmlint --root <repo-root> [--allowlist <file>]   lint <root>/src
+//   cmlint --self-test                               verify the linter
+//                                                    catches seeded
+//                                                    violations
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+//
+// Registered as a ctest test through tools/run_checks.sh, so `ctest` fails
+// whenever a convention regresses.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // path relative to the lint root
+  int line = 0;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: blank out comments and string/char literals so the
+// token rules do not fire on documentation or log text. Layout (line count,
+// column positions) is preserved.
+// ---------------------------------------------------------------------------
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// CROSSMODAL_<DIR>_<FILE>_H_ for a header path relative to src/.
+std::string ExpectedGuard(const fs::path& rel_to_src) {
+  std::string guard = "CROSSMODAL_";
+  for (const char c : rel_to_src.generic_string()) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+void CheckIncludeGuard(const fs::path& rel_to_src, const std::string& rel,
+                       const std::vector<std::string>& raw_lines,
+                       std::vector<Finding>* findings) {
+  const std::string expected = ExpectedGuard(rel_to_src);
+  static const std::regex ifndef_re(R"(^#ifndef\s+(\S+))");
+  static const std::regex define_re(R"(^#define\s+(\S+))");
+  std::smatch m;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    if (!std::regex_search(raw_lines[i], m, ifndef_re)) continue;
+    const std::string guard = m[1];
+    if (guard != expected) {
+      findings->push_back({"include-guard", rel, static_cast<int>(i + 1),
+                           "guard '" + guard + "' should be '" + expected +
+                               "'"});
+      return;
+    }
+    // The next non-blank line must define the same symbol.
+    for (size_t j = i + 1; j < raw_lines.size(); ++j) {
+      if (raw_lines[j].empty()) continue;
+      if (!std::regex_search(raw_lines[j], m, define_re) || m[1] != guard) {
+        findings->push_back({"include-guard", rel, static_cast<int>(j + 1),
+                             "#ifndef " + guard +
+                                 " is not followed by its #define"});
+      }
+      return;
+    }
+    return;
+  }
+  findings->push_back(
+      {"include-guard", rel, 1, "header has no include guard"});
+}
+
+void CheckFileComment(const std::string& rel,
+                      const std::vector<std::string>& raw_lines,
+                      std::vector<Finding>* findings) {
+  if (raw_lines.empty() || raw_lines[0].rfind("//", 0) != 0) {
+    findings->push_back({"file-comment", rel, 1,
+                         "header must start with a top-of-file // doc "
+                         "comment describing the component"});
+  }
+}
+
+void CheckNodiscard(const std::string& rel,
+                    const std::vector<std::string>& stripped_lines,
+                    std::vector<Finding>* findings) {
+  // A declaration line returning Status or Result<T>. Multi-line forms with
+  // the return type alone on its own line are not produced in this tree.
+  static const std::regex decl_re(
+      R"(^\s*(static\s+|virtual\s+)*(Status|Result<.*>)\s+[A-Za-z_]\w*\s*\()");
+  static const std::regex nodiscard_re(R"(\[\[nodiscard\]\])");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string& line = stripped_lines[i];
+    if (!std::regex_search(line, decl_re)) continue;
+    if (std::regex_search(line, nodiscard_re)) continue;
+    findings->push_back({"nodiscard", rel, static_cast<int>(i + 1),
+                         "Status/Result-returning declaration must be "
+                         "[[nodiscard]]"});
+  }
+}
+
+void CheckBannedCalls(const std::string& rel,
+                      const std::vector<std::string>& stripped_lines,
+                      std::vector<Finding>* findings) {
+  struct BannedPattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<BannedPattern> kBanned = {
+      {std::regex(R"((^|[^:\w>.])rand\s*\()"),
+       "rand() is banned; use util/random.h (seeded, reproducible)"},
+      {std::regex(R"(std::cout)"),
+       "std::cout is banned in library code; use util/logging.h or return "
+       "data to the caller"},
+      {std::regex(R"((^|[^\w])new\s+[A-Za-z_:(])"),
+       "naked new is banned; use std::make_unique / std::make_shared"},
+      {std::regex(R"((^|[^\w])delete\s+[A-Za-z_*(]|(^|[^\w])delete\s*\[\])"),
+       "naked delete is banned; use smart pointers"},
+  };
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    for (const auto& banned : kBanned) {
+      if (std::regex_search(stripped_lines[i], banned.re)) {
+        findings->push_back(
+            {"banned-call", rel, static_cast<int>(i + 1), banned.what});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Lints one file. `rel` is the repo-relative path used in reports and the
+// allowlist; `rel_to_src` drives the include-guard name.
+std::vector<Finding> LintFile(const fs::path& path, const std::string& rel,
+                              const fs::path& rel_to_src) {
+  std::vector<Finding> findings;
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    findings.push_back({"io", rel, 0, "cannot read file"});
+    return findings;
+  }
+  const std::vector<std::string> raw_lines = SplitLines(text);
+  const std::vector<std::string> stripped_lines =
+      SplitLines(StripCommentsAndStrings(text));
+
+  const bool is_header = path.extension() == ".h";
+  if (is_header) {
+    CheckIncludeGuard(rel_to_src, rel, raw_lines, &findings);
+    CheckFileComment(rel, raw_lines, &findings);
+    CheckNodiscard(rel, stripped_lines, &findings);
+  }
+  CheckBannedCalls(rel, stripped_lines, &findings);
+  return findings;
+}
+
+// Allowlist lines are `rule:path` (repo-relative, e.g.
+// `banned-call:src/util/logging.h`); '#' starts a comment.
+std::set<std::string> LoadAllowlist(const fs::path& path, bool* ok) {
+  std::set<std::string> allow;
+  *ok = true;
+  if (path.empty()) return allow;
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return allow;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back()))) {
+      line.pop_back();
+    }
+    if (!line.empty()) allow.insert(line);
+  }
+  return allow;
+}
+
+int LintTree(const fs::path& root, const fs::path& allowlist_path,
+             std::ostream& out) {
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    out << "cmlint: no src/ directory under " << root << "\n";
+    return 2;
+  }
+  bool allow_ok = true;
+  const std::set<std::string> allow = LoadAllowlist(allowlist_path, &allow_ok);
+  if (!allow_ok) {
+    out << "cmlint: cannot read allowlist " << allowlist_path << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t reported = 0;
+  size_t suppressed = 0;
+  std::set<std::string> used_allow_entries;
+  for (const auto& path : files) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    const fs::path rel_to_src = fs::relative(path, src);
+    for (const Finding& f : LintFile(path, rel, rel_to_src)) {
+      const std::string key = f.rule + ":" + f.file;
+      if (allow.count(key) > 0) {
+        ++suppressed;
+        used_allow_entries.insert(key);
+        continue;
+      }
+      out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+          << "\n";
+      ++reported;
+    }
+  }
+  for (const std::string& entry : allow) {
+    if (used_allow_entries.count(entry) == 0) {
+      out << "note: stale allowlist entry (no matching violation): " << entry
+          << "\n";
+    }
+  }
+  out << "cmlint: " << files.size() << " files, " << reported
+      << " violation(s)";
+  if (suppressed > 0) out << ", " << suppressed << " allowlisted";
+  out << "\n";
+  return reported == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: seed one violation per rule into a scratch tree and verify the
+// linter reports each (and that the allowlist suppresses them).
+// ---------------------------------------------------------------------------
+bool WriteFile(const fs::path& path, const std::string& content) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int SelfTest() {
+  const fs::path root =
+      fs::temp_directory_path() / "cmlint_selftest" /
+      std::to_string(static_cast<unsigned>(::getpid()));
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  int failures = 0;
+  auto expect = [&failures](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cout << "self-test FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+
+  // A fully conventional header: zero findings expected.
+  WriteFile(root / "src/util/clean.h",
+            "// A clean header.\n"
+            "\n"
+            "#ifndef CROSSMODAL_UTIL_CLEAN_H_\n"
+            "#define CROSSMODAL_UTIL_CLEAN_H_\n"
+            "namespace crossmodal {\n"
+            "[[nodiscard]] Status Fine();\n"
+            "// rand() and std::cout and new Foo() in a comment are fine.\n"
+            "const char* kMsg = \"so is new Foo() in a string\";\n"
+            "}  // namespace crossmodal\n"
+            "#endif  // CROSSMODAL_UTIL_CLEAN_H_\n");
+  // One seeded violation per rule.
+  WriteFile(root / "src/util/bad_guard.h",
+            "// Wrong guard name.\n"
+            "#ifndef CROSSMODAL_WRONG_H_\n"
+            "#define CROSSMODAL_WRONG_H_\n"
+            "#endif  // CROSSMODAL_WRONG_H_\n");
+  WriteFile(root / "src/util/no_comment.h",
+            "#ifndef CROSSMODAL_UTIL_NO_COMMENT_H_\n"
+            "#define CROSSMODAL_UTIL_NO_COMMENT_H_\n"
+            "#endif  // CROSSMODAL_UTIL_NO_COMMENT_H_\n");
+  WriteFile(root / "src/util/drops_status.h",
+            "// Declares a fallible function without [[nodiscard]].\n"
+            "#ifndef CROSSMODAL_UTIL_DROPS_STATUS_H_\n"
+            "#define CROSSMODAL_UTIL_DROPS_STATUS_H_\n"
+            "namespace crossmodal {\n"
+            "Status Frobnicate();\n"
+            "Result<int> Count();\n"
+            "}  // namespace crossmodal\n"
+            "#endif  // CROSSMODAL_UTIL_DROPS_STATUS_H_\n");
+  WriteFile(root / "src/util/banned.cc",
+            "// Library code calling banned facilities.\n"
+            "#include <iostream>\n"
+            "int Roll() { return rand() % 6; }\n"
+            "void Print(int v) { std::cout << v; }\n"
+            "int* Alloc() { return new int(7); }\n"
+            "void Free(int* p) { delete p; }\n");
+
+  std::ostringstream report;
+  const int rc = LintTree(root, fs::path(), report);
+  expect(rc == 1, "seeded tree must exit non-zero (got " +
+                      std::to_string(rc) + ")");
+  const std::string text = report.str();
+  auto contains = [&text](const std::string& needle) {
+    return text.find(needle) != std::string::npos;
+  };
+  expect(contains("bad_guard.h:2: [include-guard]"),
+         "wrong include guard detected");
+  expect(contains("no_comment.h:1: [file-comment]"),
+         "missing doc comment detected");
+  expect(contains("drops_status.h:5: [nodiscard]"),
+         "Status decl without [[nodiscard]] detected");
+  expect(contains("drops_status.h:6: [nodiscard]"),
+         "Result decl without [[nodiscard]] detected");
+  expect(contains("banned.cc:3: [banned-call]"), "rand() detected");
+  expect(contains("banned.cc:4: [banned-call]"), "std::cout detected");
+  expect(contains("banned.cc:5: [banned-call]"), "naked new detected");
+  expect(contains("banned.cc:6: [banned-call]"), "naked delete detected");
+  expect(!contains("clean.h"), "clean header produces no findings");
+
+  // Allowlisting every seeded violation must make the tree pass.
+  const fs::path allowlist = root / "allow.txt";
+  WriteFile(allowlist,
+            "# grandfathered for the self-test\n"
+            "include-guard:src/util/bad_guard.h\n"
+            "file-comment:src/util/no_comment.h\n"
+            "nodiscard:src/util/drops_status.h\n"
+            "banned-call:src/util/banned.cc\n");
+  std::ostringstream allowed_report;
+  const int allowed_rc = LintTree(root, allowlist, allowed_report);
+  expect(allowed_rc == 0, "allowlisted tree must exit zero (got " +
+                              std::to_string(allowed_rc) + ")");
+
+  fs::remove_all(root, ec);
+  if (failures == 0) {
+    std::cout << "cmlint self-test: all rules detect seeded violations\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  fs::path allowlist;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else {
+      std::cout << "usage: cmlint --root <repo-root> [--allowlist <file>] | "
+                   "--self-test\n";
+      return 2;
+    }
+  }
+  if (self_test) return SelfTest();
+  if (root.empty()) {
+    std::cout << "cmlint: --root is required (or use --self-test)\n";
+    return 2;
+  }
+  if (allowlist.empty()) {
+    const fs::path default_allowlist = root / "tools" / "cmlint_allowlist.txt";
+    if (fs::exists(default_allowlist)) allowlist = default_allowlist;
+  }
+  return LintTree(root, allowlist, std::cout);
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo static checks: cmlint (self-test, then the tree) plus clang-tidy when
+# available. Registered as the `run_checks` ctest test; also runnable by hand:
+#
+#   tools/run_checks.sh <path-to-cmlint-binary> <repo-root> [compile-db-dir]
+#
+# clang-tidy is optional (the CI lint job and local clang installs run it);
+# when the binary or the compile database is missing it is skipped with a
+# note rather than failing, so gcc-only environments stay green.
+set -euo pipefail
+
+CMLINT_BIN=${1:?usage: run_checks.sh <cmlint-binary> <repo-root> [build-dir]}
+ROOT=${2:?usage: run_checks.sh <cmlint-binary> <repo-root> [build-dir]}
+BUILD_DIR=${3:-}
+
+echo "== cmlint self-test =="
+"${CMLINT_BIN}" --self-test
+
+echo "== cmlint ${ROOT}/src =="
+"${CMLINT_BIN}" --root "${ROOT}" \
+  --allowlist "${ROOT}/tools/cmlint_allowlist.txt"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -n "${BUILD_DIR}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "== clang-tidy (config: ${ROOT}/.clang-tidy) =="
+    # Library sources only; headers are covered via HeaderFilterRegex.
+    find "${ROOT}/src" -name '*.cc' -print0 |
+      xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "${BUILD_DIR}" --quiet
+  else
+    echo "== clang-tidy: skipped (no compile_commands.json; configure with" \
+         "CMAKE_EXPORT_COMPILE_COMMANDS=ON and pass the build dir) =="
+  fi
+else
+  echo "== clang-tidy: skipped (not installed) =="
+fi
+
+echo "run_checks: OK"
