@@ -1,0 +1,300 @@
+#include "core/determinism.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "resources/registry.h"
+#include "serving/model_server.h"
+#include "synth/corpus_generator.h"
+#include "util/hashing.h"
+#include "util/table_printer.h"
+
+namespace crossmodal {
+
+namespace {
+
+void HashEntities(const std::vector<Entity>& entities, Fnv1aHasher* hasher) {
+  hasher->AddU64(entities.size());
+  for (const Entity& e : entities) {
+    hasher->AddU64(e.id);
+    hasher->AddByte(static_cast<uint8_t>(e.modality));
+    hasher->AddByte(static_cast<uint8_t>(e.label));
+    hasher->AddI64(e.timestamp);
+    hasher->AddU64(e.latent.semantic.size());
+    for (float v : e.latent.semantic) hasher->AddFloat(v);
+  }
+}
+
+void HashFeatureValue(const FeatureValue& value, Fnv1aHasher* hasher) {
+  if (value.is_missing()) {
+    hasher->AddByte(0xFF);
+    return;
+  }
+  hasher->AddByte(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case FeatureType::kNumeric:
+      hasher->AddDouble(value.numeric());
+      break;
+    case FeatureType::kCategorical:
+      hasher->AddU64(value.categories().size());
+      for (int32_t c : value.categories()) hasher->AddI32(c);
+      break;
+    case FeatureType::kEmbedding:
+      hasher->AddU64(value.embedding().size());
+      for (float v : value.embedding()) hasher->AddFloat(v);
+      break;
+  }
+}
+
+/// The per-run stage hashes, in audit order.
+using StageHashes = std::vector<std::pair<std::string, uint64_t>>;
+
+}  // namespace
+
+bool DeterminismReport::AllPass() const {
+  return std::all_of(stages.begin(), stages.end(),
+                     [](const StageAudit& s) { return s.pass(); });
+}
+
+DeterminismHarness::DeterminismHarness(DeterminismOptions options)
+    : options_(options) {}
+
+uint64_t DeterminismHarness::HashCorpus(const Corpus& corpus) {
+  Fnv1aHasher hasher;
+  HashEntities(corpus.text_labeled, &hasher);
+  HashEntities(corpus.image_unlabeled, &hasher);
+  HashEntities(corpus.image_labeled_pool, &hasher);
+  HashEntities(corpus.image_test, &hasher);
+  return hasher.digest();
+}
+
+uint64_t DeterminismHarness::HashFeatureRows(
+    const FeatureStore& store, const std::vector<EntityId>& order) {
+  Fnv1aHasher hasher;
+  hasher.AddU64(order.size());
+  for (EntityId id : order) {
+    hasher.AddU64(id);
+    auto row = store.Get(id);
+    if (!row.ok()) {
+      hasher.AddByte(0xFE);  // missing-row marker
+      continue;
+    }
+    hasher.AddU64((*row)->size());
+    for (const FeatureValue& value : (*row)->values()) {
+      HashFeatureValue(value, &hasher);
+    }
+  }
+  return hasher.digest();
+}
+
+uint64_t DeterminismHarness::HashGraph(const SimilarityGraph& graph) {
+  Fnv1aHasher hasher;
+  hasher.AddU64(graph.nodes.size());
+  for (EntityId id : graph.nodes) hasher.AddU64(id);
+  for (const auto& neighbors : graph.adjacency) {
+    hasher.AddU64(neighbors.size());
+    for (const auto& [j, w] : neighbors) {
+      hasher.AddU32(j);
+      hasher.AddFloat(w);
+    }
+  }
+  return hasher.digest();
+}
+
+uint64_t DeterminismHarness::HashPropagationScores(
+    const std::unordered_map<EntityId, double>& scores,
+    const std::vector<EntityId>& order) {
+  Fnv1aHasher hasher;
+  hasher.AddU64(order.size());
+  for (EntityId id : order) {
+    hasher.AddU64(id);
+    auto it = scores.find(id);
+    if (it == scores.end()) {
+      hasher.AddByte(0xFD);  // unscored marker
+    } else {
+      hasher.AddDouble(it->second);
+    }
+  }
+  return hasher.digest();
+}
+
+uint64_t DeterminismHarness::HashLabelMatrix(const LabelMatrix& matrix) {
+  Fnv1aHasher hasher;
+  hasher.AddU64(matrix.num_rows());
+  hasher.AddU64(matrix.num_lfs());
+  for (size_t lf = 0; lf < matrix.num_lfs(); ++lf) {
+    hasher.AddString(matrix.lf_name(lf));
+  }
+  for (size_t row = 0; row < matrix.num_rows(); ++row) {
+    hasher.AddU64(matrix.entity(row));
+    for (size_t lf = 0; lf < matrix.num_lfs(); ++lf) {
+      hasher.AddByte(static_cast<uint8_t>(
+          static_cast<int8_t>(matrix.at(row, lf))));
+    }
+  }
+  return hasher.digest();
+}
+
+uint64_t DeterminismHarness::HashWeakLabels(
+    const std::vector<ProbabilisticLabel>& labels) {
+  Fnv1aHasher hasher;
+  hasher.AddU64(labels.size());
+  for (const ProbabilisticLabel& label : labels) {
+    hasher.AddU64(label.entity);
+    hasher.AddDouble(label.p_positive);
+    hasher.AddByte(label.covered ? 1 : 0);
+  }
+  return hasher.digest();
+}
+
+namespace {
+
+/// Executes the full stack once and returns every stage hash in audit
+/// order. Everything is local to the call: two invocations share no state
+/// except the options, which is precisely the determinism claim under test.
+Result<StageHashes> RunStack(const DeterminismOptions& options) {
+  StageHashes hashes;
+
+  // ---- Stage: corpus synthesis. ----------------------------------------
+  WorldConfig world;
+  CorpusGenerator generator(world,
+                            TaskSpec::CT(options.task).Scaled(options.scale));
+  Corpus corpus = generator.Generate();
+  hashes.emplace_back("corpus", DeterminismHarness::HashCorpus(corpus));
+
+  CM_ASSIGN_OR_RETURN(ResourceRegistry registry,
+                      BuildModerationRegistry(generator,
+                                              options.registry_seed));
+
+  PipelineConfig config;
+  config.seed = options.seed;
+  // Reduced-footprint fit so the ctest entry stays fast; the audited code
+  // paths (mining, propagation, EM, fusion training) are all exercised.
+  config.model.hidden = {16};
+  config.model.train.epochs = 6;
+  config.curation.dev_sample = 1200;
+  config.curation.graph_seed_sample = 600;
+  config.curation.graph_tune_sample = 250;
+
+  CrossModalPipeline pipeline(&registry, &corpus, config);
+
+  // ---- Stage: feature generation (MapReduce). --------------------------
+  CM_RETURN_IF_ERROR(pipeline.GenerateFeatureSpace());
+  std::vector<EntityId> all_entities;
+  all_entities.reserve(corpus.TotalSize());
+  for (const auto* split : {&corpus.text_labeled, &corpus.image_unlabeled,
+                            &corpus.image_labeled_pool, &corpus.image_test}) {
+    for (const Entity& e : *split) all_entities.push_back(e.id);
+  }
+  hashes.emplace_back("feature_store",
+                      DeterminismHarness::HashFeatureRows(pipeline.store(),
+                                                          all_entities));
+
+  // ---- Stages: kNN graph + label propagation. --------------------------
+  // Built standalone (the pipeline's internal graph is not exposed) over
+  // the same feature subset and options the curation step uses.
+  const FeatureSelection& selection = pipeline.selection();
+  FeatureSimilarity similarity(&registry.schema(), selection.graph_features);
+  std::vector<const FeatureVector*> fit_rows;
+  const size_t n_fit = std::min<size_t>(corpus.text_labeled.size(), 1000);
+  for (size_t i = 0; i < n_fit; ++i) {
+    auto row = pipeline.store().Get(corpus.text_labeled[i].id);
+    if (row.ok()) fit_rows.push_back(*row);
+  }
+  similarity.FitNormalization(fit_rows);
+
+  std::vector<EntityId> nodes;
+  std::unordered_map<EntityId, double> prop_seeds;
+  const size_t n_seeds =
+      std::min(corpus.text_labeled.size(), config.curation.graph_seed_sample);
+  for (size_t i = 0; i < n_seeds; ++i) {
+    const Entity& e = corpus.text_labeled[i];
+    nodes.push_back(e.id);
+    prop_seeds.emplace(e.id, e.label == 1 ? 1.0 : 0.0);
+  }
+  for (const Entity& e : corpus.image_unlabeled) nodes.push_back(e.id);
+
+  CM_ASSIGN_OR_RETURN(SimilarityGraph graph,
+                      BuildKnnGraph(nodes, pipeline.store(), similarity,
+                                    config.curation.graph));
+  hashes.emplace_back("knn_graph", DeterminismHarness::HashGraph(graph));
+
+  CM_ASSIGN_OR_RETURN(PropagationResult propagation,
+                      PropagateLabels(graph, prop_seeds,
+                                      config.curation.propagation));
+  hashes.emplace_back("propagation",
+                      DeterminismHarness::HashPropagationScores(
+                          propagation.scores, nodes));
+
+  // ---- Stages: curation artifacts + trained model (full pipeline). -----
+  CM_ASSIGN_OR_RETURN(PipelineResult result, pipeline.Run());
+
+  std::vector<EntityId> unlabeled_ids;
+  unlabeled_ids.reserve(corpus.image_unlabeled.size());
+  for (const Entity& e : corpus.image_unlabeled) unlabeled_ids.push_back(e.id);
+  const LabelMatrix matrix = ApplyLabelingFunctions(
+      result.curation.lfs, unlabeled_ids, pipeline.store());
+  hashes.emplace_back("label_matrix",
+                      DeterminismHarness::HashLabelMatrix(matrix));
+  hashes.emplace_back("weak_labels",
+                      DeterminismHarness::HashWeakLabels(
+                          result.curation.weak_labels));
+
+  hashes.emplace_back("trained_model",
+                      HashDoubles(pipeline.ScoreTestSet(*result.model)));
+
+  // ---- Stage: serving (nonservable stripping included). ----------------
+  CM_ASSIGN_OR_RETURN(ModelServer server,
+                      ModelServer::Create(std::move(result.model),
+                                          &registry.schema(),
+                                          selection.image_model_features));
+  std::vector<const FeatureVector*> test_rows;
+  for (const Entity& e : corpus.image_test) {
+    auto row = pipeline.store().Get(e.id);
+    if (row.ok()) test_rows.push_back(*row);
+  }
+  hashes.emplace_back("served_scores",
+                      HashDoubles(server.ScoreBatch(test_rows)));
+
+  return hashes;
+}
+
+}  // namespace
+
+Result<DeterminismReport> DeterminismHarness::RunAudit() const {
+  CM_ASSIGN_OR_RETURN(StageHashes first, RunStack(options_));
+  CM_ASSIGN_OR_RETURN(StageHashes second, RunStack(options_));
+  if (first.size() != second.size()) {
+    return Status::Internal("stage lists diverged between runs");
+  }
+  DeterminismReport report;
+  report.stages.reserve(first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (first[i].first != second[i].first) {
+      return Status::Internal("stage order diverged between runs");
+    }
+    report.stages.push_back(
+        StageAudit{first[i].first, first[i].second, second[i].second});
+  }
+  return report;
+}
+
+void DeterminismHarness::PrintReport(const DeterminismReport& report,
+                                     std::ostream& os) {
+  TablePrinter table({"stage", "run 1 hash", "run 2 hash", "verdict"});
+  char buf[24];
+  auto hex = [&buf](uint64_t h) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+  };
+  for (const StageAudit& stage : report.stages) {
+    table.AddRow({stage.stage, hex(stage.hash_first), hex(stage.hash_second),
+                  stage.pass() ? "PASS" : "DIVERGED"});
+  }
+  table.Print(os);
+}
+
+}  // namespace crossmodal

@@ -157,7 +157,7 @@ class MapReduceExecutor {
 
   ThreadPool pool_;
   size_t num_shards_;
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{"mapreduce_stats"};
   MapReduceStats stats_ CM_GUARDED_BY(stats_mu_);
 };
 

@@ -83,7 +83,14 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
                            static_cast<std::ptrdiff_t>(options.max_candidates),
                        candidates.end(),
                        [&](uint32_t a, uint32_t b) {
-                         return shared_count[a] > shared_count[b];
+                         // Strict total order (ties broken by node index):
+                         // with ties, the selected candidate set would be
+                         // implementation-defined, and the graph would not
+                         // be bit-identical across platforms/runs.
+                         if (shared_count[a] != shared_count[b]) {
+                           return shared_count[a] > shared_count[b];
+                         }
+                         return a < b;
                        });
       candidates.resize(options.max_candidates);
     }
@@ -107,7 +114,15 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
     if (heap.size() > k) {
       std::nth_element(heap.begin(),
                        heap.begin() + static_cast<std::ptrdiff_t>(k),
-                       heap.end(), std::greater<>());
+                       heap.end(),
+                       [](const std::pair<float, uint32_t>& a,
+                          const std::pair<float, uint32_t>& b) {
+                         // Weight descending, equal-weight ties broken by
+                         // ascending node index (a strict total order, so
+                         // the kept top-k set is uniquely determined).
+                         if (a.first != b.first) return a.first > b.first;
+                         return a.second < b.second;
+                       });
       heap.resize(k);
     }
   }

@@ -1,5 +1,6 @@
 #include "io/artifacts.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <sstream>
@@ -172,10 +173,19 @@ Status WriteFeatureStoreTsv(const FeatureStore& store,
     for (const FeatureDef& def : schema.defs()) header.push_back(def.name);
     lines.push_back(TsvJoin(header));
   }
-  for (const auto& [entity, row] : store) {
+  // Rows sorted by entity id: the store is an unordered_map, and the file
+  // is a determinism-audited artifact, so its line order must not depend on
+  // hash iteration order.
+  std::vector<std::pair<EntityId, const FeatureVector*>> rows;
+  rows.reserve(store.size());
+  // cmlint: unordered-ok — collected only to be sorted on the next line
+  for (const auto& [entity, row] : store) rows.emplace_back(entity, &row);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [entity, row] : rows) {
     std::vector<std::string> fields{std::to_string(entity)};
     for (size_t f = 0; f < schema.size(); ++f) {
-      fields.push_back(EncodeFeatureValue(row.Get(static_cast<FeatureId>(f))));
+      fields.push_back(EncodeFeatureValue(row->Get(static_cast<FeatureId>(f))));
     }
     lines.push_back(TsvJoin(fields));
   }

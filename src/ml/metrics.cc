@@ -1,11 +1,46 @@
 #include "ml/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <string>
 
 #include "util/logging.h"
 
 namespace crossmodal {
+
+Status ValidateScoredLabels(const std::vector<double>& scores,
+                            const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "scores/labels size mismatch: " + std::to_string(scores.size()) +
+        " vs " + std::to_string(labels.size()));
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument("non-finite score at index " +
+                                     std::to_string(i));
+    }
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::InvalidArgument(
+          "label at index " + std::to_string(i) + " is " +
+          std::to_string(labels[i]) + "; binary metrics need {0,1}");
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> CheckedAveragePrecision(const std::vector<double>& scores,
+                                       const std::vector<int>& labels) {
+  CM_RETURN_IF_ERROR(ValidateScoredLabels(scores, labels));
+  return AveragePrecision(scores, labels);
+}
+
+Result<double> CheckedRocAuc(const std::vector<double>& scores,
+                             const std::vector<int>& labels) {
+  CM_RETURN_IF_ERROR(ValidateScoredLabels(scores, labels));
+  return RocAuc(scores, labels);
+}
 
 namespace {
 /// Indices sorted by descending score; ties broken by index for determinism.

@@ -6,7 +6,25 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/result.h"
+
 namespace crossmodal {
+
+/// Validates a (scores, labels) pair: equal sizes, labels in {0, 1}, every
+/// score finite. NaN scores would silently mis-rank (NaN comparisons are
+/// false, so NaN points sink to an arbitrary end of the ordering); callers
+/// computing headline numbers should reject them instead.
+[[nodiscard]] Status ValidateScoredLabels(const std::vector<double>& scores,
+                                          const std::vector<int>& labels);
+
+/// AveragePrecision with input validation: InvalidArgument on size
+/// mismatch, out-of-domain labels, or non-finite scores.
+[[nodiscard]] Result<double> CheckedAveragePrecision(
+    const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// RocAuc with the same validation.
+[[nodiscard]] Result<double> CheckedRocAuc(const std::vector<double>& scores,
+                                           const std::vector<int>& labels);
 
 /// Area under the precision-recall curve, computed as average precision
 /// (the standard step-wise interpolation). Labels are {0,1}; higher scores

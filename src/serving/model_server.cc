@@ -40,7 +40,7 @@ ModelServer::ModelServer(CrossModalModelPtr model,
       schema_(schema),
       serving_features_(std::move(serving_features)),
       options_(options),
-      stats_mu_(std::make_unique<Mutex>()) {
+      stats_mu_(std::make_unique<Mutex>("model_server_stats")) {
   for (size_t f = 0; f < schema_->size(); ++f) {
     if (!schema_->def(static_cast<FeatureId>(f)).servable) {
       nonservable_.push_back(static_cast<FeatureId>(f));

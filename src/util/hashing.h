@@ -1,0 +1,106 @@
+// FNV-1a content hashing for determinism auditing.
+//
+// The determinism harness (core/determinism.h) compares pipeline-stage
+// artifacts across two runs by 64-bit content hash. FNV-1a is used because
+// it is trivially portable (no endianness or alignment assumptions in this
+// byte-at-a-time form) and fully deterministic across platforms — unlike
+// std::hash, whose values are implementation-defined. Not a cryptographic
+// hash; collisions are astronomically unlikely for "did two runs of the
+// same code produce the same bytes", which is the only question asked here.
+//
+// Doubles are canonicalized before hashing: -0.0 hashes like +0.0 and every
+// NaN bit pattern hashes alike, so artifacts that compare equal as numbers
+// hash equal as bytes.
+
+#ifndef CROSSMODAL_UTIL_HASHING_H_
+#define CROSSMODAL_UTIL_HASHING_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace crossmodal {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1aHasher {
+ public:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  /// Current digest (valid at any point; starts at the offset basis).
+  uint64_t digest() const { return state_; }
+
+  Fnv1aHasher& AddByte(uint8_t b) {
+    state_ = (state_ ^ b) * kPrime;
+    return *this;
+  }
+
+  Fnv1aHasher& AddBytes(const void* data, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) AddByte(bytes[i]);
+    return *this;
+  }
+
+  /// Integers are hashed little-endian byte by byte, so the digest does not
+  /// depend on host endianness.
+  Fnv1aHasher& AddU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) AddByte(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  Fnv1aHasher& AddU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) AddByte(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  Fnv1aHasher& AddI64(int64_t v) { return AddU64(static_cast<uint64_t>(v)); }
+
+  Fnv1aHasher& AddI32(int32_t v) { return AddU32(static_cast<uint32_t>(v)); }
+
+  /// Canonicalized double: -0.0 → +0.0, all NaNs → one quiet-NaN pattern.
+  Fnv1aHasher& AddDouble(double v) {
+    if (std::isnan(v)) {
+      return AddU64(0x7FF8000000000000ULL);
+    }
+    if (v == 0.0) v = 0.0;  // collapses -0.0
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return AddU64(bits);
+  }
+
+  /// Canonicalized float (same rules as AddDouble).
+  Fnv1aHasher& AddFloat(float v) {
+    if (std::isnan(v)) return AddU32(0x7FC00000U);
+    if (v == 0.0f) v = 0.0f;
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return AddU32(bits);
+  }
+
+  /// Length-prefixed string (prefix prevents concatenation ambiguity).
+  Fnv1aHasher& AddString(const std::string& s) {
+    AddU64(s.size());
+    return AddBytes(s.data(), s.size());
+  }
+
+ private:
+  uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot convenience: hash of a double sequence (canonicalized,
+/// length-prefixed).
+inline uint64_t HashDoubles(const std::vector<double>& values) {
+  Fnv1aHasher hasher;
+  hasher.AddU64(values.size());
+  for (double v : values) hasher.AddDouble(v);
+  return hasher.digest();
+}
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_UTIL_HASHING_H_

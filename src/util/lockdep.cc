@@ -1,0 +1,199 @@
+#include "util/lockdep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace crossmodal {
+namespace lockdep {
+namespace {
+
+void DefaultViolationHandler(const char* held_name,
+                             const char* acquired_name) {
+  CM_DCHECK(false) << "lockdep: lock-order inversion — acquiring '"
+                   << acquired_name << "' while holding '" << held_name
+                   << "', but the opposite order '" << acquired_name
+                   << "' -> '" << held_name
+                   << "' was already observed; interleaved threads can "
+                      "deadlock on this pair";
+  // Unreachable when DCHECKs are armed; under NDEBUG the hooks that call
+  // this handler are compiled out entirely.
+}
+
+std::atomic<ViolationHandler> g_handler{&DefaultViolationHandler};
+
+// The registry below only exists in armed builds; g_handler stays defined in
+// all builds so SetViolationHandler links everywhere.
+#ifndef NDEBUG
+
+struct Graph {
+  // Class key: the name for named mutexes, "@<address>" for unnamed ones.
+  std::map<std::string, int> class_ids;
+  std::vector<std::string> class_names;  // display name per class id
+  std::vector<std::set<int>> edges;      // edges[a] = classes acquired after a
+};
+
+std::mutex g_mu;  // raw std::mutex: invisible to the graph (no recursion)
+Graph& GlobalGraph() {
+  static Graph* graph = new Graph();  // leaked: outlives static destructors
+  return *graph;
+}
+
+struct HeldLock {
+  const void* lock;
+  int cls;
+};
+
+std::vector<HeldLock>& HeldStack() {
+  // Function-local thread_local: constructed on first use per thread and
+  // destroyed at thread exit (no leak under ASan's leak checker).
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+// Class id for (lock, name) — under g_mu.
+int ClassIdLocked(const void* lock, const char* name) {
+  Graph& graph = GlobalGraph();
+  std::string key;
+  std::string display;
+  if (name != nullptr && name[0] != '\0') {
+    key = name;
+    display = name;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "@%p", lock);
+    key = buf;
+    display = std::string("<unnamed mutex ") + buf + ">";
+  }
+  auto [it, inserted] = graph.class_ids.emplace(std::move(key),
+                                                static_cast<int>(
+                                                    graph.class_names.size()));
+  if (inserted) {
+    graph.class_names.push_back(std::move(display));
+    graph.edges.emplace_back();
+  }
+  return it->second;
+}
+
+// True when `to` is reachable from `from` along recorded edges — under g_mu.
+bool ReachableLocked(int from, int to) {
+  const Graph& graph = GlobalGraph();
+  std::vector<int> stack = {from};
+  std::set<int> visited;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (node == to) return true;
+    if (!visited.insert(node).second) continue;
+    for (int next : graph.edges[static_cast<size_t>(node)]) {
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+#endif  // !NDEBUG
+
+}  // namespace
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler
+                                               : &DefaultViolationHandler);
+}
+
+#ifndef NDEBUG
+
+void OnAcquire(const void* lock, const char* name) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Violations found under g_mu are reported after releasing it: the handler
+  // may log arbitrarily (or abort), and must not run inside our own lock.
+  std::vector<std::pair<std::string, std::string>> violations;
+  int cls;
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    Graph& graph = GlobalGraph();
+    cls = ClassIdLocked(lock, name);
+    const std::string& cls_name = graph.class_names[static_cast<size_t>(cls)];
+    for (const HeldLock& h : held) {
+      if (h.lock == lock) {
+        // Same instance re-locked by its own holder: certain deadlock.
+        violations.emplace_back(cls_name, cls_name);
+        continue;
+      }
+      if (h.cls == cls) continue;  // sibling instance of one class
+      std::set<int>& out_edges = graph.edges[static_cast<size_t>(h.cls)];
+      if (out_edges.count(cls) > 0) continue;  // edge already known, acyclic
+      if (ReachableLocked(cls, h.cls)) {
+        // Adding held→cls would close a cycle: inversion. The edge is NOT
+        // added, keeping the graph acyclic so one bug reports once per
+        // offending acquisition instead of poisoning later checks.
+        violations.emplace_back(graph.class_names[static_cast<size_t>(h.cls)],
+                                cls_name);
+      } else {
+        out_edges.insert(cls);
+      }
+    }
+  }
+  held.push_back(HeldLock{lock, cls});
+  if (!violations.empty()) {
+    const ViolationHandler handler = g_handler.load();
+    for (const auto& [held_name, acquired_name] : violations) {
+      handler(held_name.c_str(), acquired_name.c_str());
+    }
+  }
+}
+
+void OnTryAcquire(const void* lock, const char* name) {
+  int cls;
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    cls = ClassIdLocked(lock, name);
+  }
+  HeldStack().push_back(HeldLock{lock, cls});
+}
+
+void OnRelease(const void* lock) {
+  std::vector<HeldLock>& held = HeldStack();
+  for (size_t i = held.size(); i-- > 0;) {
+    if (held[i].lock == lock) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Unlock of a lock we never saw acquired: tolerated (a Mutex may be locked
+  // before a handler/test reset); nothing to pop.
+}
+
+void ResetGraphForTest() {
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    Graph& graph = GlobalGraph();
+    graph.class_ids.clear();
+    graph.class_names.clear();
+    graph.edges.clear();
+  }
+  HeldStack().clear();  // calling thread only; tests reset between cases
+}
+
+size_t NumEdgesForTest() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  size_t total = 0;
+  for (const auto& out_edges : GlobalGraph().edges) total += out_edges.size();
+  return total;
+}
+
+#else  // NDEBUG
+
+void ResetGraphForTest() {}
+size_t NumEdgesForTest() { return 0; }
+
+#endif  // NDEBUG
+
+}  // namespace lockdep
+}  // namespace crossmodal

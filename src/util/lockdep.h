@@ -1,0 +1,84 @@
+// Mini-lockdep: runtime lock-order (deadlock-potential) detection.
+//
+// Debug and sanitizer builds (any build without NDEBUG) maintain a global
+// directed graph over lock *classes*: whenever a thread acquires mutex B
+// while holding mutex A, the edge A→B is recorded. If acquiring B would
+// close a cycle (B →* A already exists), the acquisition is a lock-order
+// inversion — two threads interleaving the two orders can deadlock — and the
+// violation handler fires a CM_DCHECK-style fatal report naming both locks,
+// even though this particular single-threaded execution got lucky. This is
+// the classic lockdep idea: one clean run of each nesting order proves the
+// deadlock potential without ever needing the unlucky interleaving.
+//
+// Lock classes: a crossmodal::Mutex constructed with a name (e.g.
+// Mutex("thread_pool")) shares a class with every other mutex of that name,
+// so per-instance locks of one subsystem are audited as a family. Unnamed
+// mutexes get a per-instance class (no false aliasing across unrelated
+// locks; note that a class keyed to a destroyed mutex's address may be
+// reused if a new mutex lands on the same address — name hot mutexes).
+//
+// Release builds (NDEBUG) compile every hook to an empty inline function;
+// the graph, the registry, and the per-thread held stack do not exist.
+//
+// Thread-safe. The detector's own internal lock is a raw std::mutex and is
+// never visible to the graph.
+
+#ifndef CROSSMODAL_UTIL_LOCKDEP_H_
+#define CROSSMODAL_UTIL_LOCKDEP_H_
+
+#include <cstddef>
+
+namespace crossmodal {
+namespace lockdep {
+
+/// True when lock-order auditing is compiled in (builds without NDEBUG:
+/// the asan-ubsan and tsan presets, plain Debug builds).
+#ifndef NDEBUG
+inline constexpr bool kArmed = true;
+#else
+inline constexpr bool kArmed = false;
+#endif
+
+/// Receives one inversion report: acquiring `acquired` while holding `held`
+/// would close a cycle in the lock-order graph. The default handler fires
+/// CM_DCHECK(false) with both names (fatal). Tests install a capturing
+/// handler to assert detection without dying.
+using ViolationHandler = void (*)(const char* held_name,
+                                  const char* acquired_name);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previous handler.
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+#ifndef NDEBUG
+/// Called by Mutex::lock() *before* blocking: checks held→acquired edges
+/// for cycles, records new edges, and pushes the lock on the thread's held
+/// stack. Re-acquiring a mutex this thread already holds is reported too.
+void OnAcquire(const void* lock, const char* name);
+
+/// Called after a successful try_lock: records the lock as held but adds no
+/// ordering edges (a failed try_lock cannot deadlock, so trylock nesting
+/// does not constrain ordering).
+void OnTryAcquire(const void* lock, const char* name);
+
+/// Called by Mutex::unlock(): pops the lock from the thread's held stack
+/// (handles out-of-LIFO-order release).
+void OnRelease(const void* lock);
+#else
+inline void OnAcquire(const void*, const char*) {}
+inline void OnTryAcquire(const void*, const char*) {}
+inline void OnRelease(const void*) {}
+#endif
+
+/// Test support: drops every recorded class and edge. Only meaningful while
+/// no lock is held anywhere; tests call it between cases so one case's
+/// seeded graph cannot leak ordering constraints into the next.
+void ResetGraphForTest();
+
+/// Test support: number of distinct held→acquired edges recorded so far.
+size_t NumEdgesForTest();
+
+}  // namespace lockdep
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_UTIL_LOCKDEP_H_

@@ -6,12 +6,21 @@
 // zero-cost annotated wrapper; MutexLock is the scoped guard. Both satisfy
 // the standard Lockable requirements, so std::condition_variable_any can
 // wait directly on a MutexLock.
+//
+// In builds without NDEBUG every acquisition also feeds the mini-lockdep
+// lock-order graph (util/lockdep.h): nesting two named mutexes in both
+// orders anywhere in the process fires a fatal inversion report, catching
+// deadlock *potential* without needing the unlucky interleaving. Release
+// builds compile the hooks to nothing. Prefer the named constructor for any
+// mutex that can nest with another — the name is the lockdep lock class and
+// appears in inversion reports.
 
 #ifndef CROSSMODAL_UTIL_MUTEX_H_
 #define CROSSMODAL_UTIL_MUTEX_H_
 
 #include <mutex>
 
+#include "util/lockdep.h"
 #include "util/thread_annotations.h"
 
 namespace crossmodal {
@@ -20,15 +29,33 @@ namespace crossmodal {
 class CM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Named mutex: `name` must have static storage duration (a string
+  /// literal). Mutexes sharing a name share a lockdep lock class.
+  explicit Mutex(const char* name) : name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() CM_ACQUIRE() { mu_.lock(); }
-  void unlock() CM_RELEASE() { mu_.unlock(); }
-  bool try_lock() CM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() CM_ACQUIRE() {
+    // Checked before blocking so an actual A/B deadlock is reported instead
+    // of hanging both threads.
+    lockdep::OnAcquire(this, name_);
+    mu_.lock();
+  }
+  void unlock() CM_RELEASE() {
+    lockdep::OnRelease(this);
+    mu_.unlock();
+  }
+  bool try_lock() CM_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) lockdep::OnTryAcquire(this, name_);
+    return acquired;
+  }
+
+  const char* name() const { return name_; }
 
  private:
   std::mutex mu_;
+  const char* name_ = nullptr;  // nullptr = per-instance lockdep class
 };
 
 /// RAII guard holding a Mutex for its scope. Also models Lockable (lock /

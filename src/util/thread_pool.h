@@ -48,7 +48,7 @@ class ThreadPool {
   void WorkerLoop() CM_LOCKS_EXCLUDED(mu_);
 
   std::vector<std::thread> threads_;
-  Mutex mu_;
+  Mutex mu_{"thread_pool"};
   std::deque<std::function<void()>> queue_ CM_GUARDED_BY(mu_);
   // condition_variable_any waits directly on MutexLock (see util/mutex.h),
   // keeping the annotated capability in view of the analysis.

@@ -1,0 +1,165 @@
+// Determinism regression tests: the FNV-1a hasher's canonicalization rules,
+// and the end-to-end guarantee that training the full pipeline twice from
+// one seed yields bit-identical artifacts (the DeterminismHarness contract;
+// cmaudit is the CLI face of the same check).
+
+#include "core/determinism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/pipeline.h"
+#include "resources/registry.h"
+#include "util/check.h"
+#include "synth/corpus_generator.h"
+#include "util/hashing.h"
+
+namespace crossmodal {
+namespace {
+
+// ---- Fnv1aHasher -----------------------------------------------------------
+
+TEST(Fnv1aHasherTest, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1aHasher().digest(), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1aHasher().AddByte('a').digest(), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1aHasher().AddBytes("foobar", 6).digest(),
+            0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aHasherTest, IntegersHashLittleEndianBytewise) {
+  const uint64_t via_u64 = Fnv1aHasher().AddU64(0x0123456789ABCDEFULL).digest();
+  uint64_t via_bytes = Fnv1aHasher()
+                           .AddByte(0xEF)
+                           .AddByte(0xCD)
+                           .AddByte(0xAB)
+                           .AddByte(0x89)
+                           .AddByte(0x67)
+                           .AddByte(0x45)
+                           .AddByte(0x23)
+                           .AddByte(0x01)
+                           .digest();
+  EXPECT_EQ(via_u64, via_bytes);
+}
+
+TEST(Fnv1aHasherTest, DoubleCanonicalization) {
+  // All NaN payloads collapse to one pattern.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan = std::numeric_limits<double>::signaling_NaN();
+  EXPECT_EQ(Fnv1aHasher().AddDouble(qnan).digest(),
+            Fnv1aHasher().AddDouble(snan).digest());
+  // Signed zero collapses.
+  EXPECT_EQ(Fnv1aHasher().AddDouble(0.0).digest(),
+            Fnv1aHasher().AddDouble(-0.0).digest());
+  // Distinct ordinary values do not.
+  EXPECT_NE(Fnv1aHasher().AddDouble(1.0).digest(),
+            Fnv1aHasher().AddDouble(2.0).digest());
+  EXPECT_NE(Fnv1aHasher().AddDouble(1.0).digest(),
+            Fnv1aHasher().AddDouble(qnan).digest());
+}
+
+TEST(Fnv1aHasherTest, StringsAreLengthPrefixed) {
+  // Without a length prefix {"ab","c"} and {"a","bc"} would collide.
+  const uint64_t h1 =
+      Fnv1aHasher().AddString("ab").AddString("c").digest();
+  const uint64_t h2 =
+      Fnv1aHasher().AddString("a").AddString("bc").digest();
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Fnv1aHasherTest, HashDoublesIsOrderAndLengthSensitive) {
+  EXPECT_NE(HashDoubles({1.0, 2.0}), HashDoubles({2.0, 1.0}));
+  EXPECT_NE(HashDoubles({1.0}), HashDoubles({1.0, 0.0}));
+  EXPECT_EQ(HashDoubles({0.5, -0.0}), HashDoubles({0.5, 0.0}));
+}
+
+// ---- End-to-end double-run regression --------------------------------------
+
+struct PipelineFingerprint {
+  uint64_t corpus = 0;
+  uint64_t weak_labels = 0;
+  uint64_t test_scores = 0;
+};
+
+// Trains the full Task-1 pipeline from scratch and fingerprints its
+// artifacts. Everything lives inside the call, so two invocations share
+// nothing but the seeds.
+PipelineFingerprint TrainTask1(uint64_t seed) {
+  WorldConfig world;
+  CorpusGenerator generator(world, TaskSpec::CT(1).Scaled(0.05));
+  Corpus corpus = generator.Generate();
+
+  auto registry = BuildModerationRegistry(generator, 31);
+  CM_CHECK(registry.ok());
+
+  PipelineConfig config;
+  config.seed = seed;
+  config.model.hidden = {16};
+  config.model.train.epochs = 6;
+  config.curation.dev_sample = 1200;
+  config.curation.graph_seed_sample = 600;
+  config.curation.graph_tune_sample = 250;
+
+  CrossModalPipeline pipeline(&*registry, &corpus, config);
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok());
+
+  PipelineFingerprint fp;
+  fp.corpus = DeterminismHarness::HashCorpus(corpus);
+  fp.weak_labels = DeterminismHarness::HashWeakLabels(result->curation.weak_labels);
+  // CrossModalModel does not expose raw weights; held-out scores are the
+  // behavioral weight fingerprint (any output-visible divergence shows up).
+  fp.test_scores = HashDoubles(pipeline.ScoreTestSet(*result->model));
+  return fp;
+}
+
+TEST(DeterminismRegressionTest, Task1PipelineIsBitIdenticalAcrossRuns) {
+  const PipelineFingerprint first = TrainTask1(0x5EED);
+  const PipelineFingerprint second = TrainTask1(0x5EED);
+  EXPECT_EQ(first.corpus, second.corpus);
+  EXPECT_EQ(first.weak_labels, second.weak_labels);
+  EXPECT_EQ(first.test_scores, second.test_scores);
+}
+
+TEST(DeterminismRegressionTest, DifferentSeedsActuallyChangeTheModel) {
+  // Guards against the fingerprint being insensitive (e.g. hashing an empty
+  // vector): a different training seed must move the test scores.
+  const PipelineFingerprint a = TrainTask1(0x5EED);
+  const PipelineFingerprint b = TrainTask1(0xBEEF);
+  EXPECT_EQ(a.corpus, b.corpus);  // corpus seed lives in the TaskSpec
+  EXPECT_NE(a.test_scores, b.test_scores);
+}
+
+TEST(DeterminismHarnessTest, AuditReportsAllStagesPass) {
+  DeterminismOptions options;
+  options.task = 2;
+  options.scale = 0.05;
+  DeterminismHarness harness(options);
+  auto report = harness.RunAudit();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->stages.size(), 8u);
+  EXPECT_EQ(report->stages.front().stage, "corpus");
+  EXPECT_EQ(report->stages.back().stage, "served_scores");
+  for (const StageAudit& stage : report->stages) {
+    EXPECT_TRUE(stage.pass()) << "stage diverged: " << stage.stage;
+  }
+  EXPECT_TRUE(report->AllPass());
+}
+
+TEST(DeterminismHarnessTest, StageHashHelpersAreOrderSensitive) {
+  std::unordered_map<EntityId, double> scores{{1, 0.25}, {2, 0.75}};
+  const uint64_t forward =
+      DeterminismHarness::HashPropagationScores(scores, {1, 2});
+  const uint64_t backward =
+      DeterminismHarness::HashPropagationScores(scores, {2, 1});
+  EXPECT_NE(forward, backward);
+  // A missing entity hashes as a marker, not as a silent skip.
+  const uint64_t with_missing =
+      DeterminismHarness::HashPropagationScores(scores, {1, 2, 3});
+  EXPECT_NE(forward, with_missing);
+}
+
+}  // namespace
+}  // namespace crossmodal

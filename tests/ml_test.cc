@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -72,6 +73,57 @@ TEST(MetricsTest, PrCurveMonotoneRecall) {
     EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
   }
   EXPECT_NEAR(curve.back().recall, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PrCurveEmptyWhenNoPositives) {
+  EXPECT_TRUE(PrecisionRecallCurve({0.9, 0.1, 0.5}, {0, 0, 0}).empty());
+}
+
+TEST(MetricsTest, AllEqualScoresCollapseToPrevalence) {
+  // One tie group: a single PR point whose precision is the base rate.
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+  // AveragePrecision breaks ties by index (positions 1,4 of 4 positive):
+  // (1/1 + 2/4) / 2. Deterministic, but not the prevalence.
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, labels), 0.75);
+}
+
+TEST(MetricsTest, CheckedVariantsAgreeOnCleanInput) {
+  const std::vector<double> scores{0.9, 0.5, 0.4};
+  const std::vector<int> labels{1, 0, 1};
+  EXPECT_TRUE(ValidateScoredLabels(scores, labels).ok());
+  auto ap = CheckedAveragePrecision(scores, labels);
+  ASSERT_TRUE(ap.ok());
+  EXPECT_DOUBLE_EQ(*ap, AveragePrecision(scores, labels));
+  auto auc = CheckedRocAuc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, RocAuc(scores, labels));
+}
+
+TEST(MetricsTest, CheckedVariantsRejectSizeMismatch) {
+  const auto r = CheckedAveragePrecision({0.5, 0.4}, {1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsTest, CheckedVariantsRejectNonFiniteScores) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(CheckedAveragePrecision({0.5, nan}, {1, 0}).ok());
+  EXPECT_FALSE(CheckedRocAuc({inf, 0.2}, {1, 0}).ok());
+  EXPECT_FALSE(CheckedRocAuc({-inf, 0.2}, {1, 0}).ok());
+  EXPECT_EQ(CheckedRocAuc({0.5, nan}, {1, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsTest, CheckedVariantsRejectNonBinaryLabels) {
+  EXPECT_FALSE(CheckedAveragePrecision({0.5, 0.4}, {1, 2}).ok());
+  EXPECT_FALSE(CheckedRocAuc({0.5, 0.4}, {-1, 1}).ok());
 }
 
 // ---------- Encoder ---------------------------------------------------------

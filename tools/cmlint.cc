@@ -1,7 +1,11 @@
 // cmlint: repo-convention linter for library code under src/.
 //
 // The compiler enforces warnings; cmlint enforces the conventions it cannot
-// see. Rules (each suppressible per-file via the allowlist):
+// see. The linter is a small multi-pass rule engine: a load pass reads each
+// file and strips comments/strings, a facts pass indexes declarations the
+// rules need (unordered-container variables, lambda extents), and a rule
+// pass evaluates every registered rule against the file context. Rules
+// (each suppressible per-file via the allowlist):
 //
 //   include-guard   .h guards must be CROSSMODAL_<DIR>_<FILE>_H_ (path
 //                   relative to src/), with a matching #define.
@@ -12,6 +16,24 @@
 //   banned-call     library code may not call rand() (use util/random.h),
 //                   write to std::cout (use util/logging.h or return data),
 //                   or use naked new / delete (use smart pointers).
+//   unordered-iter  range-for over an unordered container (or FeatureStore,
+//                   whose iteration exposes its unordered_map) whose body
+//                   writes to an output/accumulator: iteration order is
+//                   run-dependent, so anything order-sensitive built from it
+//                   is nondeterministic. Iterate a sorted copy, or annotate
+//                   the loop with `// cmlint: unordered-ok` when the order
+//                   provably cannot escape (e.g. commutative reduction).
+//   nondeterministic-seed
+//                   std::random_device and time()-based seeding are banned
+//                   in src/: every seed must be threaded from config
+//                   (util/random.h, DeriveSeed) so runs are reproducible.
+//   parallel-reduction
+//                   a ParallelFor body compound-assigning (+=, -=, *=) into
+//                   a variable declared outside the body is a data race
+//                   and, even when "benign", makes float sums depend on
+//                   thread interleaving. Accumulate per index and reduce
+//                   in order afterwards, or annotate the accumulation line
+//                   with `// cmlint: parallel-ok`.
 //
 // Usage:
 //   cmlint --root <repo-root> [--allowlist <file>]   lint <root>/src
@@ -50,9 +72,9 @@ struct Finding {
 };
 
 // ---------------------------------------------------------------------------
-// Source preprocessing: blank out comments and string/char literals so the
-// token rules do not fire on documentation or log text. Layout (line count,
-// column positions) is preserved.
+// Pass 1 — load: blank out comments and string/char literals so the token
+// rules do not fire on documentation or log text. Layout (line count, column
+// positions) is preserved.
 // ---------------------------------------------------------------------------
 std::string StripCommentsAndStrings(const std::string& text) {
   std::string out = text;
@@ -128,6 +150,107 @@ std::vector<std::string> SplitLines(const std::string& text) {
   return lines;
 }
 
+// Everything the rules may inspect about one file. Built once per file by
+// the load + facts passes, then handed to every rule.
+struct FileContext {
+  std::string rel;      // repo-relative path (reports, allowlist keys)
+  fs::path rel_to_src;  // path relative to src/ (include-guard name)
+  bool is_header = false;
+  std::vector<std::string> raw_lines;       // original text (suppressions)
+  std::vector<std::string> stripped_lines;  // comments/strings blanked
+  std::string stripped_text;                // joined with '\n'
+  // Facts (pass 2):
+  std::set<std::string> unordered_vars;  // names declared as unordered
+                                         // containers (or FeatureStore)
+};
+
+// Line number (1-based) of a character offset into stripped_text.
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(offset, text.size())),
+                            '\n'));
+}
+
+// True when `marker` appears in the raw source on `line` (1-based) or the
+// line above it — the suppression-comment convention.
+bool HasSuppression(const FileContext& ctx, int line, const char* marker) {
+  for (int l = line; l >= line - 1; --l) {
+    if (l < 1 || static_cast<size_t>(l) > ctx.raw_lines.size()) continue;
+    if (ctx.raw_lines[static_cast<size_t>(l - 1)].find(marker) !=
+        std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Offset of the brace matching the '{' at `open` in `text`, or npos.
+size_t MatchingBrace(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2 — facts: index declarations the data-flow-ish rules need.
+// ---------------------------------------------------------------------------
+
+// Offset just past the '>' closing the template list opened at `open`
+// (offset of '<'), handling nesting; npos when unbalanced.
+size_t SkipTemplateArgs(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>' && --depth == 0) return i + 1;
+    if (text[i] == ';') break;  // statement ended: not a template list
+  }
+  return std::string::npos;
+}
+
+void CollectUnorderedVars(FileContext* ctx) {
+  const std::string& text = ctx->stripped_text;
+  // std::unordered_map<...> name / std::unordered_set<...> name, including
+  // reference/pointer declarators and function parameters. FeatureStore is
+  // included because its begin()/end() expose the underlying unordered_map.
+  static const std::regex decl_re(
+      R"((unordered_map|unordered_set)\s*<)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), decl_re);
+       it != std::sregex_iterator(); ++it) {
+    const size_t open = static_cast<size_t>(it->position()) +
+                        static_cast<size_t>(it->length()) - 1;
+    size_t pos = SkipTemplateArgs(text, open);
+    if (pos == std::string::npos) continue;
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_')) {
+      ++end;
+    }
+    if (end > pos) ctx->unordered_vars.insert(text.substr(pos, end - pos));
+  }
+  static const std::regex store_re(R"(\bFeatureStore\s*[&*]?\s*([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), store_re);
+       it != std::sregex_iterator(); ++it) {
+    ctx->unordered_vars.insert((*it)[1]);
+  }
+}
+
+void CollectFacts(FileContext* ctx) { CollectUnorderedVars(ctx); }
+
+// ---------------------------------------------------------------------------
+// Pass 3 — rules.
+// ---------------------------------------------------------------------------
+
 // CROSSMODAL_<DIR>_<FILE>_H_ for a header path relative to src/.
 std::string ExpectedGuard(const fs::path& rel_to_src) {
   std::string guard = "CROSSMODAL_";
@@ -143,30 +266,27 @@ std::string ExpectedGuard(const fs::path& rel_to_src) {
   return guard;
 }
 
-// ---------------------------------------------------------------------------
-// Rules.
-// ---------------------------------------------------------------------------
-void CheckIncludeGuard(const fs::path& rel_to_src, const std::string& rel,
-                       const std::vector<std::string>& raw_lines,
-                       std::vector<Finding>* findings) {
-  const std::string expected = ExpectedGuard(rel_to_src);
+void CheckIncludeGuard(const FileContext& ctx, std::vector<Finding>* findings) {
+  if (!ctx.is_header) return;
+  const std::string expected = ExpectedGuard(ctx.rel_to_src);
   static const std::regex ifndef_re(R"(^#ifndef\s+(\S+))");
   static const std::regex define_re(R"(^#define\s+(\S+))");
   std::smatch m;
-  for (size_t i = 0; i < raw_lines.size(); ++i) {
-    if (!std::regex_search(raw_lines[i], m, ifndef_re)) continue;
+  for (size_t i = 0; i < ctx.raw_lines.size(); ++i) {
+    if (!std::regex_search(ctx.raw_lines[i], m, ifndef_re)) continue;
     const std::string guard = m[1];
     if (guard != expected) {
-      findings->push_back({"include-guard", rel, static_cast<int>(i + 1),
+      findings->push_back({"include-guard", ctx.rel, static_cast<int>(i + 1),
                            "guard '" + guard + "' should be '" + expected +
                                "'"});
       return;
     }
     // The next non-blank line must define the same symbol.
-    for (size_t j = i + 1; j < raw_lines.size(); ++j) {
-      if (raw_lines[j].empty()) continue;
-      if (!std::regex_search(raw_lines[j], m, define_re) || m[1] != guard) {
-        findings->push_back({"include-guard", rel, static_cast<int>(j + 1),
+    for (size_t j = i + 1; j < ctx.raw_lines.size(); ++j) {
+      if (ctx.raw_lines[j].empty()) continue;
+      if (!std::regex_search(ctx.raw_lines[j], m, define_re) || m[1] != guard) {
+        findings->push_back({"include-guard", ctx.rel,
+                             static_cast<int>(j + 1),
                              "#ifndef " + guard +
                                  " is not followed by its #define"});
       }
@@ -175,40 +295,36 @@ void CheckIncludeGuard(const fs::path& rel_to_src, const std::string& rel,
     return;
   }
   findings->push_back(
-      {"include-guard", rel, 1, "header has no include guard"});
+      {"include-guard", ctx.rel, 1, "header has no include guard"});
 }
 
-void CheckFileComment(const std::string& rel,
-                      const std::vector<std::string>& raw_lines,
-                      std::vector<Finding>* findings) {
-  if (raw_lines.empty() || raw_lines[0].rfind("//", 0) != 0) {
-    findings->push_back({"file-comment", rel, 1,
+void CheckFileComment(const FileContext& ctx, std::vector<Finding>* findings) {
+  if (!ctx.is_header) return;
+  if (ctx.raw_lines.empty() || ctx.raw_lines[0].rfind("//", 0) != 0) {
+    findings->push_back({"file-comment", ctx.rel, 1,
                          "header must start with a top-of-file // doc "
                          "comment describing the component"});
   }
 }
 
-void CheckNodiscard(const std::string& rel,
-                    const std::vector<std::string>& stripped_lines,
-                    std::vector<Finding>* findings) {
+void CheckNodiscard(const FileContext& ctx, std::vector<Finding>* findings) {
+  if (!ctx.is_header) return;
   // A declaration line returning Status or Result<T>. Multi-line forms with
   // the return type alone on its own line are not produced in this tree.
   static const std::regex decl_re(
       R"(^\s*(static\s+|virtual\s+)*(Status|Result<.*>)\s+[A-Za-z_]\w*\s*\()");
   static const std::regex nodiscard_re(R"(\[\[nodiscard\]\])");
-  for (size_t i = 0; i < stripped_lines.size(); ++i) {
-    const std::string& line = stripped_lines[i];
+  for (size_t i = 0; i < ctx.stripped_lines.size(); ++i) {
+    const std::string& line = ctx.stripped_lines[i];
     if (!std::regex_search(line, decl_re)) continue;
     if (std::regex_search(line, nodiscard_re)) continue;
-    findings->push_back({"nodiscard", rel, static_cast<int>(i + 1),
+    findings->push_back({"nodiscard", ctx.rel, static_cast<int>(i + 1),
                          "Status/Result-returning declaration must be "
                          "[[nodiscard]]"});
   }
 }
 
-void CheckBannedCalls(const std::string& rel,
-                      const std::vector<std::string>& stripped_lines,
-                      std::vector<Finding>* findings) {
+void CheckBannedCalls(const FileContext& ctx, std::vector<Finding>* findings) {
   struct BannedPattern {
     std::regex re;
     const char* what;
@@ -224,15 +340,144 @@ void CheckBannedCalls(const std::string& rel,
       {std::regex(R"((^|[^\w])delete\s+[A-Za-z_*(]|(^|[^\w])delete\s*\[\])"),
        "naked delete is banned; use smart pointers"},
   };
-  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+  for (size_t i = 0; i < ctx.stripped_lines.size(); ++i) {
     for (const auto& banned : kBanned) {
-      if (std::regex_search(stripped_lines[i], banned.re)) {
+      if (std::regex_search(ctx.stripped_lines[i], banned.re)) {
         findings->push_back(
-            {"banned-call", rel, static_cast<int>(i + 1), banned.what});
+            {"banned-call", ctx.rel, static_cast<int>(i + 1), banned.what});
       }
     }
   }
 }
+
+// Does `body` contain an order-sensitive write (append to a container,
+// accumulate, or stream out)?
+bool BodyWritesOutput(const std::string& body) {
+  static const std::regex write_re(
+      R"((push_back|emplace_back|emplace|insert|append)\s*\(|[+\-]=|<<)");
+  return std::regex_search(body, write_re);
+}
+
+void CheckUnorderedIter(const FileContext& ctx,
+                        std::vector<Finding>* findings) {
+  if (ctx.unordered_vars.empty()) return;
+  const std::string& text = ctx.stripped_text;
+  // Range-for whose range expression is (a dereference of) a tracked
+  // variable: `for (... : var)`, `for (... : *var)`.
+  static const std::regex for_re(
+      R"(\bfor\s*\([^;:()]*:\s*\*?([A-Za-z_]\w*)\s*\))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), for_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string var = (*it)[1];
+    if (ctx.unordered_vars.count(var) == 0) continue;
+    const size_t for_end = static_cast<size_t>(it->position()) +
+                           static_cast<size_t>(it->length());
+    const int line = LineOfOffset(text, static_cast<size_t>(it->position()));
+    if (HasSuppression(ctx, line, "cmlint: unordered-ok")) continue;
+    // Body extent: the braced block after the ')' or, unbraced, the rest of
+    // the statement up to ';'.
+    size_t body_begin = for_end;
+    while (body_begin < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[body_begin]))) {
+      ++body_begin;
+    }
+    std::string body;
+    if (body_begin < text.size() && text[body_begin] == '{') {
+      const size_t body_end = MatchingBrace(text, body_begin);
+      if (body_end == std::string::npos) continue;
+      body = text.substr(body_begin, body_end - body_begin + 1);
+    } else {
+      const size_t semi = text.find(';', body_begin);
+      if (semi == std::string::npos) continue;
+      body = text.substr(body_begin, semi - body_begin + 1);
+    }
+    if (!BodyWritesOutput(body)) continue;
+    findings->push_back(
+        {"unordered-iter", ctx.rel, line,
+         "range-for over unordered container '" + var +
+             "' feeds an output/accumulator; iteration order is "
+             "run-dependent — iterate a sorted copy, or annotate the loop "
+             "with '// cmlint: unordered-ok' if order cannot escape"});
+  }
+}
+
+void CheckNondeterministicSeed(const FileContext& ctx,
+                               std::vector<Finding>* findings) {
+  struct SeedPattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<SeedPattern> kSeeds = {
+      {std::regex(R"(\brandom_device\b)"),
+       "std::random_device is banned; thread seeds from config via "
+       "util/random.h (Rng / DeriveSeed) so runs are reproducible"},
+      {std::regex(R"((^|[^\w:.>])time\s*\(|std::time\s*\()"),
+       "time()-based seeding is banned; thread seeds from config via "
+       "util/random.h (Rng / DeriveSeed) so runs are reproducible"},
+  };
+  for (size_t i = 0; i < ctx.stripped_lines.size(); ++i) {
+    for (const auto& seed : kSeeds) {
+      if (std::regex_search(ctx.stripped_lines[i], seed.re)) {
+        findings->push_back({"nondeterministic-seed", ctx.rel,
+                             static_cast<int>(i + 1), seed.what});
+      }
+    }
+  }
+}
+
+void CheckParallelReduction(const FileContext& ctx,
+                            std::vector<Finding>* findings) {
+  const std::string& text = ctx.stripped_text;
+  // Call sites only (`pool.ParallelFor(` / `pool->ParallelFor(`), never the
+  // ThreadPool::ParallelFor definition itself.
+  static const std::regex call_re(R"((\.|->)ParallelFor\s*\()");
+  // Plain-identifier compound assignment: `total += x`, `*out -= x` — not
+  // `slots[i] +=` (indexed writes to disjoint slots are the safe pattern).
+  static const std::regex accum_re(R"((^|[^\w.\]\)])([A-Za-z_]\w*)\s*[+\-*]=)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), call_re);
+       it != std::sregex_iterator(); ++it) {
+    const size_t call_pos = static_cast<size_t>(it->position());
+    const size_t body_open = text.find('{', call_pos);
+    if (body_open == std::string::npos) continue;
+    const size_t body_close = MatchingBrace(text, body_open);
+    if (body_close == std::string::npos) continue;
+    const std::string body =
+        text.substr(body_open, body_close - body_open + 1);
+    for (auto acc = std::sregex_iterator(body.begin(), body.end(), accum_re);
+         acc != std::sregex_iterator(); ++acc) {
+      const std::string var = (*acc)[2];
+      // Declared inside the body (a per-iteration local): not shared.
+      const std::regex local_decl_re(
+          R"(\b(auto|double|float|int|long|unsigned|size_t|u?int\d+_t)\b[^;\n]*\b)" +
+          var + R"(\s*[={;])");
+      if (std::regex_search(body, local_decl_re)) continue;
+      const int line = LineOfOffset(
+          text, body_open + static_cast<size_t>(acc->position()));
+      if (HasSuppression(ctx, line, "cmlint: parallel-ok")) continue;
+      findings->push_back(
+          {"parallel-reduction", ctx.rel, line,
+           "ParallelFor body accumulates into shared '" + var +
+               "'; a data race, and float sums become interleaving-"
+               "dependent — accumulate per index and reduce in order "
+               "afterwards, or annotate with '// cmlint: parallel-ok'"});
+    }
+  }
+}
+
+// The registered rule set, evaluated in order against each file context.
+struct Rule {
+  const char* name;
+  void (*check)(const FileContext&, std::vector<Finding>*);
+};
+const Rule kRules[] = {
+    {"include-guard", &CheckIncludeGuard},
+    {"file-comment", &CheckFileComment},
+    {"nodiscard", &CheckNodiscard},
+    {"banned-call", &CheckBannedCalls},
+    {"unordered-iter", &CheckUnorderedIter},
+    {"nondeterministic-seed", &CheckNondeterministicSeed},
+    {"parallel-reduction", &CheckParallelReduction},
+};
 
 // ---------------------------------------------------------------------------
 // Driver.
@@ -246,8 +491,9 @@ bool ReadFile(const fs::path& path, std::string* out) {
   return true;
 }
 
-// Lints one file. `rel` is the repo-relative path used in reports and the
-// allowlist; `rel_to_src` drives the include-guard name.
+// Lints one file: load pass, facts pass, then every registered rule. `rel`
+// is the repo-relative path used in reports and the allowlist; `rel_to_src`
+// drives the include-guard name.
 std::vector<Finding> LintFile(const fs::path& path, const std::string& rel,
                               const fs::path& rel_to_src) {
   std::vector<Finding> findings;
@@ -256,17 +502,15 @@ std::vector<Finding> LintFile(const fs::path& path, const std::string& rel,
     findings.push_back({"io", rel, 0, "cannot read file"});
     return findings;
   }
-  const std::vector<std::string> raw_lines = SplitLines(text);
-  const std::vector<std::string> stripped_lines =
-      SplitLines(StripCommentsAndStrings(text));
-
-  const bool is_header = path.extension() == ".h";
-  if (is_header) {
-    CheckIncludeGuard(rel_to_src, rel, raw_lines, &findings);
-    CheckFileComment(rel, raw_lines, &findings);
-    CheckNodiscard(rel, stripped_lines, &findings);
-  }
-  CheckBannedCalls(rel, stripped_lines, &findings);
+  FileContext ctx;
+  ctx.rel = rel;
+  ctx.rel_to_src = rel_to_src;
+  ctx.is_header = path.extension() == ".h";
+  ctx.raw_lines = SplitLines(text);
+  ctx.stripped_text = StripCommentsAndStrings(text);
+  ctx.stripped_lines = SplitLines(ctx.stripped_text);
+  CollectFacts(&ctx);
+  for (const Rule& rule : kRules) rule.check(ctx, &findings);
   return findings;
 }
 
@@ -349,7 +593,8 @@ int LintTree(const fs::path& root, const fs::path& allowlist_path,
 
 // ---------------------------------------------------------------------------
 // Self-test: seed one violation per rule into a scratch tree and verify the
-// linter reports each (and that the allowlist suppresses them).
+// linter reports each (and that the allowlist and the in-source suppression
+// comments suppress them).
 // ---------------------------------------------------------------------------
 bool WriteFile(const fs::path& path, const std::string& content) {
   fs::create_directories(path.parent_path());
@@ -411,6 +656,66 @@ int SelfTest() {
             "void Print(int v) { std::cout << v; }\n"
             "int* Alloc() { return new int(7); }\n"
             "void Free(int* p) { delete p; }\n");
+  // unordered-iter: flagged loop, suppressed loop, and order-safe uses.
+  WriteFile(root / "src/util/unordered_iter.cc",
+            "// Iterates unordered containers.\n"
+            "#include <unordered_map>\n"
+            "#include <vector>\n"
+            "void Collect(const std::unordered_map<int, int>& counts,\n"
+            "             std::vector<int>* out) {\n"
+            "  for (const auto& [k, v] : counts) {\n"
+            "    out->push_back(k + v);\n"
+            "  }\n"
+            "}\n"
+            "void Sum(const std::unordered_map<int, int>& counts,\n"
+            "         int* total) {\n"
+            "  // cmlint: unordered-ok — integer addition is commutative\n"
+            "  for (const auto& [k, v] : counts) {\n"
+            "    *total += v;\n"
+            "  }\n"
+            "}\n"
+            "size_t CountOnly(const std::unordered_map<int, int>& counts) {\n"
+            "  size_t n = 0;\n"
+            "  for (const auto& [k, v] : counts) n = n + 1;\n"
+            "  return n;\n"
+            "}\n");
+  // nondeterministic-seed: random_device and time() seeding.
+  WriteFile(root / "src/util/clock_seed.cc",
+            "// Seeds from the environment instead of config.\n"
+            "#include <ctime>\n"
+            "#include <random>\n"
+            "unsigned BadSeed() { return static_cast<unsigned>(time(nullptr)); }\n"
+            "unsigned WorseSeed() { std::random_device rd; return rd(); }\n"
+            "int Timestamp(int t) { return t; }  // 'time' substrings are fine\n");
+  // parallel-reduction: shared accumulation, suppressed, and per-slot safe.
+  WriteFile(root / "src/util/parallel_sum.cc",
+            "// Accumulates from ParallelFor bodies.\n"
+            "#include <vector>\n"
+            "double Sum(ThreadPool& pool, const std::vector<double>& xs) {\n"
+            "  double total = 0.0;\n"
+            "  pool.ParallelFor(xs.size(), [&](size_t i) {\n"
+            "    total += xs[i];\n"
+            "  });\n"
+            "  return total;\n"
+            "}\n"
+            "double SafeSum(ThreadPool& pool, const std::vector<double>& xs) {\n"
+            "  std::vector<double> partial(xs.size(), 0.0);\n"
+            "  pool.ParallelFor(xs.size(), [&](size_t i) {\n"
+            "    double local = 0.0;\n"
+            "    local += xs[i];\n"
+            "    partial[i] += local;\n"
+            "  });\n"
+            "  double total = 0.0;\n"
+            "  for (double p : partial) total += p;\n"
+            "  return total;\n"
+            "}\n"
+            "double BlessedSum(ThreadPool& pool, std::vector<double>& xs) {\n"
+            "  double total = 0.0;\n"
+            "  pool.ParallelFor(xs.size(), [&](size_t i) {\n"
+            "    total += xs[i];  // cmlint: parallel-ok — guarded upstream\n"
+            "  });\n"
+            "  return total;\n"
+            "}\n");
 
   std::ostringstream report;
   const int rc = LintTree(root, fs::path(), report);
@@ -432,6 +737,26 @@ int SelfTest() {
   expect(contains("banned.cc:4: [banned-call]"), "std::cout detected");
   expect(contains("banned.cc:5: [banned-call]"), "naked new detected");
   expect(contains("banned.cc:6: [banned-call]"), "naked delete detected");
+  expect(contains("unordered_iter.cc:6: [unordered-iter]"),
+         "unordered range-for into output detected");
+  expect(!contains("unordered_iter.cc:13"),
+         "'cmlint: unordered-ok' suppresses the loop");
+  expect(!contains("unordered_iter.cc:19"),
+         "order-insensitive counting loop not flagged");
+  expect(contains("clock_seed.cc:4: [nondeterministic-seed]"),
+         "time() seeding detected");
+  expect(contains("clock_seed.cc:5: [nondeterministic-seed]"),
+         "std::random_device detected");
+  expect(!contains("clock_seed.cc:6"),
+         "'time' substrings (Timestamp) not flagged");
+  expect(contains("parallel_sum.cc:6: [parallel-reduction]"),
+         "shared += in ParallelFor body detected");
+  expect(!contains("parallel_sum.cc:14"),
+         "body-local accumulator not flagged");
+  expect(!contains("parallel_sum.cc:15"),
+         "per-slot indexed accumulation not flagged");
+  expect(!contains("parallel_sum.cc:24"),
+         "'cmlint: parallel-ok' suppresses the accumulation");
   expect(!contains("clean.h"), "clean header produces no findings");
 
   // Allowlisting every seeded violation must make the tree pass.
@@ -441,7 +766,10 @@ int SelfTest() {
             "include-guard:src/util/bad_guard.h\n"
             "file-comment:src/util/no_comment.h\n"
             "nodiscard:src/util/drops_status.h\n"
-            "banned-call:src/util/banned.cc\n");
+            "banned-call:src/util/banned.cc\n"
+            "unordered-iter:src/util/unordered_iter.cc\n"
+            "nondeterministic-seed:src/util/clock_seed.cc\n"
+            "parallel-reduction:src/util/parallel_sum.cc\n");
   std::ostringstream allowed_report;
   const int allowed_rc = LintTree(root, allowlist, allowed_report);
   expect(allowed_rc == 0, "allowlisted tree must exit zero (got " +
