@@ -8,11 +8,15 @@
 #ifndef CROSSMODAL_BENCH_BENCH_COMMON_H_
 #define CROSSMODAL_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/baselines.h"
 #include "core/evaluation.h"
@@ -31,6 +35,132 @@ inline double BenchScale() {
   const double scale = std::atof(env);
   return scale > 0.0 ? scale : 1.0;
 }
+
+/// Worker-thread budget for the parallelized hot paths (CM_BENCH_THREADS,
+/// default 1 = serial). Artifacts are thread-count-invariant; this knob only
+/// changes wall time.
+inline size_t BenchThreads() {
+  const char* env = std::getenv("CM_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  const int threads = std::atoi(env);
+  return threads > 0 ? static_cast<size_t>(threads) : 1;
+}
+
+/// Timed-repetition knobs for MedianWallMs (CM_BENCH_REPS / CM_BENCH_WARMUP).
+inline int BenchReps() {
+  const char* env = std::getenv("CM_BENCH_REPS");
+  const int reps = env == nullptr ? 5 : std::atoi(env);
+  return reps > 0 ? reps : 5;
+}
+
+inline int BenchWarmup() {
+  const char* env = std::getenv("CM_BENCH_WARMUP");
+  const int warmup = env == nullptr ? 1 : std::atoi(env);
+  return warmup >= 0 ? warmup : 1;
+}
+
+/// Runs `fn` `warmup` untimed times (page-cache / allocator / branch-predictor
+/// warm-up), then `reps` timed times, and returns the median wall-clock
+/// milliseconds — robust against one-off scheduler hiccups that poison a
+/// single-shot or mean-of-N measurement.
+template <typename Fn>
+inline double MedianWallMs(int warmup, int reps, const Fn& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(std::max(reps, 1)));
+  for (int i = 0; i < std::max(reps, 1); ++i) {
+    Timer timer;
+    fn();
+    ms.push_back(timer.ElapsedMillis());
+  }
+  std::sort(ms.begin(), ms.end());
+  const size_t mid = ms.size() / 2;
+  return ms.size() % 2 == 1 ? ms[mid] : 0.5 * (ms[mid - 1] + ms[mid]);
+}
+
+/// One timed stage of a bench run: a row of the emitted JSON.
+struct BenchStage {
+  std::string stage;     ///< e.g. "knn_graph_build".
+  double wall_ms = 0.0;  ///< Median (or per-iteration) wall milliseconds.
+  size_t threads = 1;    ///< ParallelConfig::num_threads the stage ran with.
+  size_t entities = 0;   ///< Work size (nodes / examples) the timing covers.
+  uint64_t seed = 0;     ///< Seed the inputs were generated from.
+  int reps = 1;          ///< Timed repetitions behind wall_ms.
+};
+
+/// Writes BENCH_<name>.json — the machine-readable counterpart of a bench's
+/// console table, consumed by tools/bench_compare.cc to gate perf
+/// regressions between two commits. Output lands in CM_BENCH_JSON_DIR
+/// (default: the working directory); the git sha is taken from CM_GIT_SHA
+/// (CI exports it from the checkout) so a JSON file is attributable to the
+/// commit that produced it.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+
+  void AddStage(BenchStage stage) { stages_.push_back(std::move(stage)); }
+
+  std::string OutputPath() const {
+    const char* dir = std::getenv("CM_BENCH_JSON_DIR");
+    std::string path = dir == nullptr || *dir == '\0' ? "" : std::string(dir);
+    if (!path.empty() && path.back() != '/') path += '/';
+    return path + "BENCH_" + name_ + ".json";
+  }
+
+  /// Serializes and writes the JSON; returns false (after printing the
+  /// error) if the file cannot be written.
+  bool Write() const {
+    const std::string path = OutputPath();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson();
+    out.close();
+    std::printf("\nBenchReporter: wrote %s (%zu stages)\n", path.c_str(),
+                stages_.size());
+    return out.good();
+  }
+
+  std::string ToJson() const {
+    const char* sha = std::getenv("CM_GIT_SHA");
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << "{\n";
+    os << "  \"name\": \"" << Escape(name_) << "\",\n";
+    os << "  \"git_sha\": \""
+       << Escape(sha == nullptr || *sha == '\0' ? "unknown" : sha) << "\",\n";
+    os << "  \"scale\": " << BenchScale() << ",\n";
+    os << "  \"stages\": [";
+    for (size_t i = 0; i < stages_.size(); ++i) {
+      const BenchStage& s = stages_[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "    {\"stage\": \"" << Escape(s.stage) << "\", \"wall_ms\": "
+         << s.wall_ms << ", \"threads\": " << s.threads << ", \"entities\": "
+         << s.entities << ", \"seed\": " << s.seed << ", \"reps\": " << s.reps
+         << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+  }
+
+ private:
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<BenchStage> stages_;
+};
 
 /// Everything needed to run one task's experiments.
 struct TaskContext {
@@ -71,6 +201,7 @@ inline PipelineConfig DefaultConfig(const TaskContext& ctx) {
   config.curation.prop_target_precision_pos =
       std::clamp(10.0 * ctx.task.pos_rate, 0.12, 0.80);
   config.curation.graph.k = 15;
+  config.parallel.num_threads = BenchThreads();
   return config;
 }
 

@@ -1,9 +1,15 @@
 // Microbenchmarks (google-benchmark) for every substrate: feature
 // generation, itemset mining, LF application, label-model fitting, kNN
 // graph construction, label propagation, encoding, and model training.
+//
+// The parallelized hot paths (kNN graph, propagation, trainers) take a
+// thread-count argument so 1-vs-N scaling shows up in one run. Besides the
+// console table, the run emits BENCH_micro_substrates.json (see
+// BenchReporter in bench_common.h) for tools/bench_compare.cc.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/pipeline.h"
 #include "dataflow/feature_generation.h"
 #include "graph/knn_graph.h"
@@ -21,7 +27,7 @@ namespace {
 
 /// Shared small world reused across benchmarks (built once).
 struct MicroWorld {
-  MicroWorld() : generator(world, TaskSpec::CT(1).Scaled(0.15)) {
+  MicroWorld() : task(TaskSpec::CT(1).Scaled(0.15)), generator(world, task) {
     corpus = generator.Generate();
     auto r = BuildModerationRegistry(generator, 77);
     CM_CHECK(r.ok());
@@ -42,6 +48,7 @@ struct MicroWorld {
   }
 
   WorldConfig world;
+  TaskSpec task;
   CorpusGenerator generator;
   Corpus corpus;
   std::unique_ptr<ResourceRegistry> registry;
@@ -148,6 +155,7 @@ void BM_KnnGraphBuild(benchmark::State& state) {
                         w.registry->schema().AllIds());
   sim.FitNormalization(w.dev_rows);
   KnnGraphOptions options;
+  options.parallel.num_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
     auto graph = BuildKnnGraph(nodes, *w.store, sim, options);
     CM_CHECK(graph.ok());
@@ -155,8 +163,15 @@ void BM_KnnGraphBuild(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  state.counters["threads"] =
+      static_cast<double>(options.parallel.num_threads);
+  state.counters["entities"] = static_cast<double>(n);
+  state.counters["seed"] = static_cast<double>(w.task.seed);
 }
-BENCHMARK(BM_KnnGraphBuild)->Arg(256)->Arg(1024);
+BENCHMARK(BM_KnnGraphBuild)
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({1024, 4});
 
 void BM_LabelPropagation(benchmark::State& state) {
   MicroWorld& w = World();
@@ -174,15 +189,21 @@ void BM_LabelPropagation(benchmark::State& state) {
     const Entity& e = w.corpus.text_labeled[i];
     seeds[e.id] = e.label == 1 ? 1.0 : 0.0;
   }
+  PropagationOptions options;
+  options.parallel.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    auto result = PropagateLabels(*graph, seeds);
+    auto result = PropagateLabels(*graph, seeds, options);
     CM_CHECK(result.ok());
     benchmark::DoNotOptimize(result->iterations);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(graph->num_nodes()));
+  state.counters["threads"] =
+      static_cast<double>(options.parallel.num_threads);
+  state.counters["entities"] = static_cast<double>(graph->num_nodes());
+  state.counters["seed"] = static_cast<double>(w.task.seed);
 }
-BENCHMARK(BM_LabelPropagation);
+BENCHMARK(BM_LabelPropagation)->Arg(1)->Arg(4);
 
 void BM_EncodeRows(benchmark::State& state) {
   MicroWorld& w = World();
@@ -223,6 +244,7 @@ void BM_LogisticRegressionTrain(benchmark::State& state) {
   const Dataset data = EncodedDataset(2000);
   TrainOptions options;
   options.epochs = 3;
+  options.parallel.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     auto model = LogisticRegression::Train(data, options);
     CM_CHECK(model.ok());
@@ -230,14 +252,19 @@ void BM_LogisticRegressionTrain(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(data.size() * 3));
+  state.counters["threads"] =
+      static_cast<double>(options.parallel.num_threads);
+  state.counters["entities"] = static_cast<double>(data.size());
+  state.counters["seed"] = static_cast<double>(options.seed);
 }
-BENCHMARK(BM_LogisticRegressionTrain);
+BENCHMARK(BM_LogisticRegressionTrain)->Arg(1)->Arg(4);
 
 void BM_MlpTrain(benchmark::State& state) {
   const Dataset data = EncodedDataset(2000);
   MlpOptions options;
   options.hidden = {32};
   options.train.epochs = 3;
+  options.train.parallel.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     auto model = Mlp::Train(data, options);
     CM_CHECK(model.ok());
@@ -245,10 +272,56 @@ void BM_MlpTrain(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(data.size() * 3));
+  state.counters["threads"] =
+      static_cast<double>(options.train.parallel.num_threads);
+  state.counters["entities"] = static_cast<double>(data.size());
+  state.counters["seed"] = static_cast<double>(options.train.seed);
 }
-BENCHMARK(BM_MlpTrain);
+BENCHMARK(BM_MlpTrain)->Arg(1)->Arg(4);
+
+/// Console output as usual, plus a BenchStage per run for the JSON file.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      bench::BenchStage stage;
+      stage.stage = run.benchmark_name();
+      stage.wall_ms =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e3
+              : 0.0;
+      stage.threads = static_cast<size_t>(Counter(run, "threads", 1.0));
+      stage.entities = static_cast<size_t>(Counter(run, "entities", 0.0));
+      stage.seed = static_cast<uint64_t>(Counter(run, "seed", 0.0));
+      stage.reps = static_cast<int>(run.iterations);
+      stages.push_back(std::move(stage));
+    }
+  }
+
+  std::vector<bench::BenchStage> stages;
+
+ private:
+  static double Counter(const Run& run, const char* name, double fallback) {
+    auto it = run.counters.find(name);
+    return it == run.counters.end() ? fallback
+                                    : static_cast<double>(it->second.value);
+  }
+};
 
 }  // namespace
 }  // namespace crossmodal
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  crossmodal::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  crossmodal::bench::BenchReporter json("micro_substrates");
+  for (auto& stage : reporter.stages) json.AddStage(std::move(stage));
+  return json.Write() ? 0 : 1;
+}

@@ -1,0 +1,234 @@
+// Perf harness (not a paper table): measures the three parallelized hot
+// paths — kNN graph construction, label propagation, and the batch-parallel
+// trainers — on identical inputs at 1 thread vs CM_BENCH_THREADS (default 4)
+// threads, and checks the artifacts are bit-identical across thread counts
+// (the util/parallel.h fixed-slice determinism contract).
+//
+// Timing is warm-up + median-of-N (MedianWallMs). Besides the console
+// table, the run writes BENCH_parallel_hotpaths.json via BenchReporter; the
+// checked-in bench/BENCH_parallel_hotpaths.json is a reference run of this
+// binary, and tools/bench_compare.cc diffs any two such files.
+
+#include "bench_common.h"
+#include "core/determinism.h"
+#include "dataflow/feature_generation.h"
+#include "graph/knn_graph.h"
+#include "graph/label_propagation.h"
+#include "ml/encoder.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "util/hashing.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+/// Behavioral fingerprint of a trained model: hash of its scores over the
+/// training rows (any weight divergence that can ever change an output
+/// changes this hash; weights themselves are not exposed).
+uint64_t HashModelScores(const Model& model, const Dataset& data) {
+  std::vector<double> scores;
+  const size_t n = std::min<size_t>(data.size(), 512);
+  scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) scores.push_back(model.Predict(data.examples[i].x));
+  return HashDoubles(scores);
+}
+
+struct StageRow {
+  std::string stage;
+  size_t entities = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  const size_t threads = BenchThreads() > 1 ? BenchThreads() : 4;
+  const int warmup = BenchWarmup();
+  const int reps = BenchReps();
+  PrintHeader("Parallel hot paths: serial vs " + std::to_string(threads) +
+                  " threads",
+              "perf harness; artifacts must be thread-count-invariant");
+
+  // A mid-sized CT1 world: large enough that per-node work dominates the
+  // ForEachSlice dispatch overhead, small enough for a CI smoke run.
+  WorldConfig world;
+  const TaskSpec task = TaskSpec::CT(1).Scaled(0.5 * BenchScale());
+  CorpusGenerator generator(world, task);
+  Corpus corpus = generator.Generate();
+  auto reg = BuildModerationRegistry(generator, 77);
+  CM_CHECK(reg.ok()) << reg.status();
+  ResourceRegistry registry = std::move(reg).value();
+  FeatureStore store(&registry.schema());
+  GenerateFeatures(corpus.text_labeled, registry, &store);
+  GenerateFeatures(corpus.image_unlabeled, registry, &store);
+
+  std::vector<const FeatureVector*> dev_rows;
+  std::vector<int> dev_labels;
+  for (const Entity& e : corpus.text_labeled) {
+    auto row = store.Get(e.id);
+    CM_CHECK(row.ok());
+    dev_rows.push_back(*row);
+    dev_labels.push_back(e.label == 1 ? 1 : 0);
+  }
+  FeatureSimilarity sim(&registry.schema(), registry.schema().AllIds());
+  sim.FitNormalization(dev_rows);
+
+  std::vector<StageRow> rows;
+
+  // ---- kNN graph construction. -------------------------------------------
+  {
+    std::vector<EntityId> nodes;
+    for (const Entity& e : corpus.image_unlabeled) nodes.push_back(e.id);
+    KnnGraphOptions serial;
+    serial.parallel.num_threads = 1;
+    KnnGraphOptions parallel = serial;
+    parallel.parallel.num_threads = threads;
+
+    auto g1 = BuildKnnGraph(nodes, store, sim, serial);
+    auto gN = BuildKnnGraph(nodes, store, sim, parallel);
+    CM_CHECK(g1.ok() && gN.ok());
+
+    StageRow row;
+    row.stage = "knn_graph_build";
+    row.entities = nodes.size();
+    row.identical = DeterminismHarness::HashGraph(*g1) ==
+                    DeterminismHarness::HashGraph(*gN);
+    row.serial_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(BuildKnnGraph(nodes, store, sim, serial).ok());
+    });
+    row.parallel_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(BuildKnnGraph(nodes, store, sim, parallel).ok());
+    });
+    rows.push_back(row);
+
+    // ---- Label propagation over the graph just built. --------------------
+    std::vector<EntityId> prop_nodes = nodes;
+    std::unordered_map<EntityId, double> seeds;
+    const size_t n_seeds = std::min<size_t>(corpus.text_labeled.size(), 1000);
+    for (size_t i = 0; i < n_seeds; ++i) {
+      const Entity& e = corpus.text_labeled[i];
+      prop_nodes.push_back(e.id);
+      seeds.emplace(e.id, e.label == 1 ? 1.0 : 0.0);
+    }
+    auto prop_graph = BuildKnnGraph(prop_nodes, store, sim, parallel);
+    CM_CHECK(prop_graph.ok());
+    PropagationOptions prop_serial;
+    prop_serial.parallel.num_threads = 1;
+    PropagationOptions prop_parallel = prop_serial;
+    prop_parallel.parallel.num_threads = threads;
+
+    auto p1 = PropagateLabels(*prop_graph, seeds, prop_serial);
+    auto pN = PropagateLabels(*prop_graph, seeds, prop_parallel);
+    CM_CHECK(p1.ok() && pN.ok());
+
+    StageRow prop_row;
+    prop_row.stage = "label_propagation";
+    prop_row.entities = prop_graph->num_nodes();
+    prop_row.identical =
+        DeterminismHarness::HashPropagationScores(p1->scores, prop_nodes) ==
+        DeterminismHarness::HashPropagationScores(pN->scores, prop_nodes);
+    prop_row.serial_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(PropagateLabels(*prop_graph, seeds, prop_serial).ok());
+    });
+    prop_row.parallel_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(PropagateLabels(*prop_graph, seeds, prop_parallel).ok());
+    });
+    rows.push_back(prop_row);
+  }
+
+  // ---- Batch-parallel trainers. ------------------------------------------
+  {
+    EncoderOptions enc_options;
+    enc_options.features = registry.schema().AllIds();
+    auto encoder = FeatureEncoder::Fit(registry.schema(), dev_rows, enc_options);
+    CM_CHECK(encoder.ok());
+    Dataset data;
+    data.dim = encoder->dim();
+    const size_t cap = std::min<size_t>(dev_rows.size(), 4000);
+    for (size_t i = 0; i < cap; ++i) {
+      Example ex;
+      ex.x = encoder->Encode(*dev_rows[i]);
+      ex.target = static_cast<float>(dev_labels[i]);
+      data.examples.push_back(std::move(ex));
+    }
+
+    TrainOptions lr_serial;
+    lr_serial.epochs = 5;
+    lr_serial.parallel.num_threads = 1;
+    TrainOptions lr_parallel = lr_serial;
+    lr_parallel.parallel.num_threads = threads;
+
+    auto m1 = LogisticRegression::Train(data, lr_serial);
+    auto mN = LogisticRegression::Train(data, lr_parallel);
+    CM_CHECK(m1.ok() && mN.ok());
+
+    StageRow lr_row;
+    lr_row.stage = "logreg_train";
+    lr_row.entities = data.size();
+    lr_row.identical = HashModelScores(*m1, data) == HashModelScores(*mN, data);
+    lr_row.serial_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(LogisticRegression::Train(data, lr_serial).ok());
+    });
+    lr_row.parallel_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(LogisticRegression::Train(data, lr_parallel).ok());
+    });
+    rows.push_back(lr_row);
+
+    MlpOptions mlp_serial;
+    mlp_serial.hidden = {32};
+    mlp_serial.train.epochs = 3;
+    mlp_serial.train.parallel.num_threads = 1;
+    MlpOptions mlp_parallel = mlp_serial;
+    mlp_parallel.train.parallel.num_threads = threads;
+
+    auto mlp1 = Mlp::Train(data, mlp_serial);
+    auto mlpN = Mlp::Train(data, mlp_parallel);
+    CM_CHECK(mlp1.ok() && mlpN.ok());
+
+    StageRow mlp_row;
+    mlp_row.stage = "mlp_train";
+    mlp_row.entities = data.size();
+    mlp_row.identical =
+        HashModelScores(*mlp1, data) == HashModelScores(*mlpN, data);
+    mlp_row.serial_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(Mlp::Train(data, mlp_serial).ok());
+    });
+    mlp_row.parallel_ms = MedianWallMs(warmup, reps, [&] {
+      CM_CHECK(Mlp::Train(data, mlp_parallel).ok());
+    });
+    rows.push_back(mlp_row);
+  }
+
+  // ---- Report. -----------------------------------------------------------
+  const std::string par_col = std::to_string(threads) + "-thread ms";
+  TablePrinter table(
+      {"stage", "entities", "1-thread ms", par_col, "speedup", "identical"});
+  BenchReporter json("parallel_hotpaths");
+  bool all_identical = true;
+  for (const StageRow& row : rows) {
+    all_identical = all_identical && row.identical;
+    table.AddRow({row.stage, std::to_string(row.entities),
+                  TablePrinter::Num(row.serial_ms, 2),
+                  TablePrinter::Num(row.parallel_ms, 2),
+                  TablePrinter::Factor(row.serial_ms /
+                                       std::max(row.parallel_ms, 1e-9)),
+                  row.identical ? "yes" : "NO"});
+    json.AddStage(BenchStage{row.stage, row.serial_ms, 1, row.entities,
+                             task.seed, reps});
+    json.AddStage(BenchStage{row.stage, row.parallel_ms, threads,
+                             row.entities, task.seed, reps});
+  }
+  table.Print(std::cout);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "bench_parallel_hotpaths: FAIL — artifacts diverged "
+                 "between thread counts\n");
+    return 1;
+  }
+  std::printf("\nAll artifacts bit-identical across thread counts.\n");
+  return json.Write() ? 0 : 1;
+}

@@ -43,12 +43,24 @@ int main() {
   const char* paper[5] = {"1.12/1.43/1.52/60k", "1.49/2.32/2.43/50k",
                           "0.88/0.95/1.14/5k", "1.74/2.00/2.45/4k",
                           "1.67/2.03/2.42/750k"};
+  BenchReporter json("table2_endtoend");
   for (int ct = 1; ct <= 5; ++ct) {
     const TaskContext ctx = SetupTask(ct);
     PipelineConfig config = DefaultConfig(ctx);
     CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
     auto result = pipeline.Run();
     CM_CHECK(result.ok()) << result.status();
+    const char* stage_names[3] = {"feature_generation", "curation",
+                                  "training"};
+    const double stage_seconds[3] = {result->report.feature_gen_seconds,
+                                     result->report.curation_seconds,
+                                     result->report.training_seconds};
+    for (int s = 0; s < 3; ++s) {
+      json.AddStage(BenchStage{
+          std::string("ct") + std::to_string(ct) + "/" + stage_names[s],
+          stage_seconds[s] * 1e3, config.parallel.num_threads,
+          ctx.corpus.TotalSize(), config.seed, /*reps=*/1});
+    }
     const FeatureStore& store = pipeline.store();
     const auto& sel = pipeline.selection();
 
@@ -86,5 +98,5 @@ int main() {
       "most tasks; (2) text can fall below 1.0 on the hardest task (CT 3);\n"
       "(3) cross-over budgets are a substantial fraction of the pool\n"
       "(paper: 4k-750k hand-labeled images at production scale).\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -42,6 +42,10 @@ struct DeterminismOptions {
   double scale = 0.05;       ///< Corpus scale factor.
   uint64_t seed = 0x5EED;    ///< Pipeline seed under audit.
   uint64_t registry_seed = 31;
+  /// Worker threads for the audited hot paths (PipelineConfig::parallel).
+  /// Any value must produce the same hashes — the double run also proves
+  /// the parallel schedule cannot leak into the artifacts.
+  size_t num_threads = 1;
 };
 
 /// One stage's double-run comparison.

@@ -16,6 +16,11 @@ CrossModalPipeline::CrossModalPipeline(const ResourceRegistry* registry,
                                        PipelineConfig config)
     : registry_(registry), corpus_(corpus), config_(std::move(config)) {
   CM_CHECK(registry_ != nullptr && corpus_ != nullptr);
+  // One knob drives every measured hot path: fan the pipeline-level
+  // ParallelConfig out to the stage options consumed downstream.
+  config_.curation.graph.parallel = config_.parallel;
+  config_.curation.propagation.parallel = config_.parallel;
+  config_.model.train.parallel = config_.parallel;
 }
 
 Status CrossModalPipeline::GenerateFeatureSpace() {

@@ -65,6 +65,11 @@ struct PipelineConfig {
   /// motivation; weighting solves it without a second training pass).
   bool balance_modalities = true;
   uint64_t seed = 0x5EED;
+  /// Worker budget for the measured hot paths (kNN graph, label
+  /// propagation, model training). Overrides the per-stage ParallelConfig
+  /// in curation.graph / curation.propagation / model.train; every value
+  /// produces bit-identical artifacts (util/parallel.h).
+  ParallelConfig parallel;
 };
 
 /// Artifacts of the curation step (exposed for benches and inspection).

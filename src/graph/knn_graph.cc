@@ -53,79 +53,89 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
   const size_t stop_threshold = std::max<size_t>(
       8, static_cast<size_t>(options.stop_item_fraction * n));
 
-  Rng rng(options.seed);
-  std::vector<uint32_t> shared_count(n, 0);
-  std::vector<uint32_t> touched;
   // Top-k edge selection per node.
   std::vector<std::vector<std::pair<float, uint32_t>>> best(n);
 
-  for (size_t i = 0; i < n; ++i) {
-    // Score candidates by number of shared items.
-    touched.clear();
-    for (FeatureId f : similarity.features()) {
-      const FeatureValue& v = rows[i]->Get(f);
-      if (v.is_missing() || v.type() != FeatureType::kCategorical) continue;
-      for (int32_t c : v.categories()) {
-        const auto& list = postings[item_key(f, c)];
-        if (list.size() > stop_threshold) continue;  // stop-item
-        for (uint32_t j : list) {
-          if (j == i) continue;
-          if (shared_count[j] == 0) touched.push_back(j);
-          ++shared_count[j];
+  // Per-node selection only reads shared state (rows, postings) and writes
+  // its own best[i] slot, so nodes are sliced across workers. Each node's
+  // random candidates come from a seed derived from the node index — not a
+  // shared stream — so the graph is bit-identical for every thread count.
+  StagePool pool(options.parallel);
+  constexpr size_t kSlices = 32;
+  ForEachSlice(pool.get(), n, kSlices, [&](size_t, size_t begin, size_t end) {
+    // Slice-owned scratch: candidate overlap counts + reset list.
+    std::vector<uint32_t> shared_count(n, 0);
+    std::vector<uint32_t> touched;
+    for (size_t i = begin; i < end; ++i) {
+      // Score candidates by number of shared items.
+      touched.clear();
+      for (FeatureId f : similarity.features()) {
+        const FeatureValue& v = rows[i]->Get(f);
+        if (v.is_missing() || v.type() != FeatureType::kCategorical) continue;
+        for (int32_t c : v.categories()) {
+          const auto& list = postings.at(item_key(f, c));
+          if (list.size() > stop_threshold) continue;  // stop-item
+          for (uint32_t j : list) {
+            if (j == i) continue;
+            if (shared_count[j] == 0) touched.push_back(j);
+            ++shared_count[j];
+          }
         }
       }
-    }
-    // Keep the most-overlapping candidates plus random ones.
-    std::vector<uint32_t> candidates = touched;
-    if (candidates.size() > options.max_candidates) {
-      std::nth_element(candidates.begin(),
-                       candidates.begin() +
-                           static_cast<std::ptrdiff_t>(options.max_candidates),
-                       candidates.end(),
-                       [&](uint32_t a, uint32_t b) {
-                         // Strict total order (ties broken by node index):
-                         // with ties, the selected candidate set would be
-                         // implementation-defined, and the graph would not
-                         // be bit-identical across platforms/runs.
-                         if (shared_count[a] != shared_count[b]) {
-                           return shared_count[a] > shared_count[b];
-                         }
-                         return a < b;
-                       });
-      candidates.resize(options.max_candidates);
-    }
-    for (uint32_t j : touched) shared_count[j] = 0;  // reset scratch
-    for (size_t r = 0; r < options.random_candidates && n > 1; ++r) {
-      const uint32_t j = static_cast<uint32_t>(rng.UniformInt(n));
-      if (j != i) candidates.push_back(j);
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
+      // Keep the most-overlapping candidates plus random ones.
+      std::vector<uint32_t> candidates = touched;
+      if (candidates.size() > options.max_candidates) {
+        std::nth_element(
+            candidates.begin(),
+            candidates.begin() +
+                static_cast<std::ptrdiff_t>(options.max_candidates),
+            candidates.end(),
+            [&](uint32_t a, uint32_t b) {
+              // Strict total order (ties broken by node index):
+              // with ties, the selected candidate set would be
+              // implementation-defined, and the graph would not
+              // be bit-identical across platforms/runs.
+              if (shared_count[a] != shared_count[b]) {
+                return shared_count[a] > shared_count[b];
+              }
+              return a < b;
+            });
+        candidates.resize(options.max_candidates);
+      }
+      for (uint32_t j : touched) shared_count[j] = 0;  // reset scratch
+      Rng rng(DeriveSeed(options.seed, static_cast<uint64_t>(i)));
+      for (size_t r = 0; r < options.random_candidates && n > 1; ++r) {
+        const uint32_t j = static_cast<uint32_t>(rng.UniformInt(n));
+        if (j != i) candidates.push_back(j);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
 
-    // Exact Algorithm-1 weights; keep top-k above the floor.
-    auto& heap = best[i];
-    for (uint32_t j : candidates) {
-      const double w = similarity.Weight(*rows[i], *rows[j]);
-      if (w < options.min_weight) continue;
-      heap.emplace_back(static_cast<float>(w), j);
+      // Exact Algorithm-1 weights; keep top-k above the floor.
+      auto& heap = best[i];
+      for (uint32_t j : candidates) {
+        const double w = similarity.Weight(*rows[i], *rows[j]);
+        if (w < options.min_weight) continue;
+        heap.emplace_back(static_cast<float>(w), j);
+      }
+      const size_t k = static_cast<size_t>(options.k);
+      if (heap.size() > k) {
+        std::nth_element(heap.begin(),
+                         heap.begin() + static_cast<std::ptrdiff_t>(k),
+                         heap.end(),
+                         [](const std::pair<float, uint32_t>& a,
+                            const std::pair<float, uint32_t>& b) {
+                           // Weight descending, equal-weight ties broken by
+                           // ascending node index (a strict total order, so
+                           // the kept top-k set is uniquely determined).
+                           if (a.first != b.first) return a.first > b.first;
+                           return a.second < b.second;
+                         });
+        heap.resize(k);
+      }
     }
-    const size_t k = static_cast<size_t>(options.k);
-    if (heap.size() > k) {
-      std::nth_element(heap.begin(),
-                       heap.begin() + static_cast<std::ptrdiff_t>(k),
-                       heap.end(),
-                       [](const std::pair<float, uint32_t>& a,
-                          const std::pair<float, uint32_t>& b) {
-                         // Weight descending, equal-weight ties broken by
-                         // ascending node index (a strict total order, so
-                         // the kept top-k set is uniquely determined).
-                         if (a.first != b.first) return a.first > b.first;
-                         return a.second < b.second;
-                       });
-      heap.resize(k);
-    }
-  }
+  });
 
   // Symmetrize: union of both directions.
   for (size_t i = 0; i < n; ++i) {

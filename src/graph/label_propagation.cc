@@ -33,25 +33,41 @@ Result<PropagationResult> PropagateLabels(
 
   PropagationResult result;
   std::vector<double> next(n);
+  // Double-buffered sweep: every node reads only `score` (the previous
+  // iteration) and writes only its own `next` slot, so slices are
+  // independent and the sweep is bit-identical at any thread count. The
+  // convergence delta reduces through per-slice maxima combined in slice
+  // order (max is order-insensitive anyway; the fixed order keeps the
+  // reduction structurally deterministic).
+  StagePool stage_pool(options.parallel);
+  constexpr size_t kSlices = 32;
+  std::vector<double> slice_delta(kSlices);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    std::fill(slice_delta.begin(), slice_delta.end(), 0.0);
+    ForEachSlice(stage_pool.get(), n, kSlices,
+                 [&](size_t slice, size_t begin, size_t end) {
+      double local_delta = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        if (clamped[i]) {
+          next[i] = score[i];
+          continue;
+        }
+        double weighted = 0.0, total = 0.0;
+        for (const auto& [j, w] : graph.adjacency[i]) {
+          weighted += static_cast<double>(w) * score[j];
+          total += w;
+        }
+        const double neighborhood =
+            total > 0.0 ? weighted / total : options.prior;
+        next[i] = options.alpha * neighborhood +
+                  (1.0 - options.alpha) * options.prior;
+        local_delta = std::max(local_delta, std::abs(next[i] - score[i]));
+      }
+      slice_delta[slice] = local_delta;
+    });
     double max_delta = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (clamped[i]) {
-        next[i] = score[i];
-        continue;
-      }
-      double weighted = 0.0, total = 0.0;
-      for (const auto& [j, w] : graph.adjacency[i]) {
-        weighted += static_cast<double>(w) * score[j];
-        total += w;
-      }
-      const double neighborhood =
-          total > 0.0 ? weighted / total : options.prior;
-      next[i] = options.alpha * neighborhood +
-                (1.0 - options.alpha) * options.prior;
-      max_delta = std::max(max_delta, std::abs(next[i] - score[i]));
-    }
+    for (double d : slice_delta) max_delta = std::max(max_delta, d);
     score.swap(next);
     result.final_delta = max_delta;
     if (max_delta < options.tolerance) {

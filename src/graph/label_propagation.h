@@ -15,6 +15,7 @@
 
 #include "graph/knn_graph.h"
 #include "labeling/labeling_function.h"
+#include "util/parallel.h"
 #include "util/result.h"
 
 namespace crossmodal {
@@ -27,6 +28,11 @@ struct PropagationOptions {
   /// (1 - alpha) * prior. alpha = 1 is pure Zhu–Ghahramani.
   double alpha = 0.95;
   double prior = 0.1;  ///< Initial/fallback score for unlabeled nodes.
+  /// The per-node sweep is sliced across this many workers. Scores are
+  /// double-buffered (every node reads the previous iteration's buffer and
+  /// writes only its own slot), so iteration order cannot leak into the
+  /// results and every thread count is bit-identical.
+  ParallelConfig parallel;
 };
 
 /// Outcome of a propagation run.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace crossmodal {
@@ -40,26 +41,56 @@ Result<LogisticRegression> LogisticRegression::Train(
   std::vector<double> grad(data.dim, 0.0);
   std::vector<uint32_t> touched;
 
+  // Per-slice partial gradients: each of the kGradSlices fixed batch slices
+  // accumulates into its own dense buffer (+ touched list for sparse
+  // reset), then the partials are folded into `grad` in slice order. The
+  // summation tree depends only on the batch split, so the fitted weights
+  // are bit-identical whether the slices run inline or across workers.
+  StagePool stage_pool(options.parallel);
+  std::vector<std::vector<double>> slice_grad(kGradSlices);
+  std::vector<std::vector<uint32_t>> slice_touched(kGradSlices);
+  std::vector<double> slice_grad_b(kGradSlices, 0.0);
+  for (auto& sg : slice_grad) sg.assign(data.dim, 0.0);
+
   Rng rng(options.seed);
   const size_t n = data.size();
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const auto perm = rng.Permutation(n);
     for (size_t start = 0; start < n; start += options.batch_size) {
       const size_t end = std::min(n, start + options.batch_size);
+      const size_t batch = end - start;
+      std::fill(slice_grad_b.begin(), slice_grad_b.end(), 0.0);
+      ForEachSlice(stage_pool.get(), batch, kGradSlices,
+                   [&](size_t slice, size_t s_begin, size_t s_end) {
+        auto& sg = slice_grad[slice];
+        auto& st = slice_touched[slice];
+        st.clear();
+        double gb = 0.0;
+        for (size_t k = s_begin; k < s_end; ++k) {
+          const Example& ex = data.examples[perm[start + k]];
+          const double p = Sigmoid(ex.x.Dot(model.weights_) + model.bias_);
+          double w = ex.weight;
+          if (ex.target > 0.5) w *= options.positive_weight;
+          // Noise-aware CE gradient: (p - soft_target).
+          const double g = w * (p - ex.target);
+          for (const auto& [idx, val] : ex.x.entries) {
+            if (sg[idx] == 0.0) st.push_back(idx);
+            sg[idx] += g * val;
+          }
+          gb += g;
+        }
+        slice_grad_b[slice] = gb;
+      });
+      // Fold partials in fixed slice order; clear them for the next batch.
       touched.clear();
       double grad_b = 0.0;
-      for (size_t k = start; k < end; ++k) {
-        const Example& ex = data.examples[perm[k]];
-        const double p = Sigmoid(ex.x.Dot(model.weights_) + model.bias_);
-        double w = ex.weight;
-        if (ex.target > 0.5) w *= options.positive_weight;
-        // Noise-aware CE gradient: (p - soft_target).
-        const double g = w * (p - ex.target);
-        for (const auto& [idx, val] : ex.x.entries) {
+      for (size_t slice = 0; slice < kGradSlices; ++slice) {
+        for (uint32_t idx : slice_touched[slice]) {
           if (grad[idx] == 0.0) touched.push_back(idx);
-          grad[idx] += g * val;
+          grad[idx] += slice_grad[slice][idx];
+          slice_grad[slice][idx] = 0.0;
         }
-        grad_b += g;
+        grad_b += slice_grad_b[slice];
       }
       const double scale = 1.0 / static_cast<double>(end - start);
       beta1_t *= beta1;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace crossmodal {
@@ -112,71 +113,124 @@ Result<Mlp> Mlp::Train(const Dataset& data, const MlpOptions& options) {
   std::vector<double> grad_out(h_last, 0.0), grad_out_b(1, 0.0);
 
   const TrainOptions& t = options.train;
+
+  // Per-slice gradient partials + forward/backward workspaces. Each of the
+  // kGradSlices fixed batch slices accumulates into its own buffers while
+  // reading the (frozen-within-batch) model weights; the partials fold into
+  // grad_* in slice order before the Adam step, so the summation tree — and
+  // therefore every fitted weight — is bit-identical at any thread count.
+  struct SliceGrads {
+    std::vector<std::vector<double>> grad_w, grad_b;
+    std::vector<double> grad_out;
+    double grad_out_b = 0.0;
+    std::vector<std::vector<double>> acts, delta;  // workspaces
+  };
+  StagePool stage_pool(t.parallel);
+  std::vector<SliceGrads> slices(kGradSlices);
+  for (auto& s : slices) {
+    s.grad_w.resize(num_hidden);
+    s.grad_b.resize(num_hidden);
+    for (size_t l = 0; l < num_hidden; ++l) {
+      s.grad_w[l].assign(model.weights_[l].size(), 0.0);
+      s.grad_b[l].assign(model.biases_[l].size(), 0.0);
+    }
+    s.grad_out.assign(h_last, 0.0);
+    s.delta.resize(num_hidden);
+  }
+
   double beta1_t = 1.0, beta2_t = 1.0;
   const size_t n = data.size();
-  std::vector<std::vector<double>> acts;
-  std::vector<std::vector<double>> delta(num_hidden);
 
   for (int epoch = 0; epoch < t.epochs; ++epoch) {
     const auto perm = rng.Permutation(n);
     for (size_t start = 0; start < n; start += t.batch_size) {
       const size_t end = std::min(n, start + t.batch_size);
+      const size_t batch = end - start;
+      const size_t used_slices = std::min<size_t>(kGradSlices, batch);
+      for (size_t si = 0; si < used_slices; ++si) {
+        auto& s = slices[si];
+        for (size_t l = 0; l < num_hidden; ++l) {
+          std::fill(s.grad_w[l].begin(), s.grad_w[l].end(), 0.0);
+          std::fill(s.grad_b[l].begin(), s.grad_b[l].end(), 0.0);
+        }
+        std::fill(s.grad_out.begin(), s.grad_out.end(), 0.0);
+        s.grad_out_b = 0.0;
+      }
+
+      ForEachSlice(stage_pool.get(), batch, kGradSlices,
+                   [&](size_t slice, size_t s_begin, size_t s_end) {
+        auto& s = slices[slice];
+        for (size_t k = s_begin; k < s_end; ++k) {
+          const Example& ex = data.examples[perm[start + k]];
+          model.Forward(ex.x, &s.acts);
+          const auto& last = s.acts.back();
+          double logit = model.out_bias_;
+          for (size_t j = 0; j < h_last; ++j) {
+            logit += model.out_weights_[j] * last[j];
+          }
+          const double p = Sigmoid(logit);
+          double w = ex.weight;
+          if (ex.target > 0.5) w *= t.positive_weight;
+          const double g_out = w * (p - ex.target);  // dL/dlogit
+
+          // Output layer gradients.
+          for (size_t j = 0; j < h_last; ++j) s.grad_out[j] += g_out * last[j];
+          s.grad_out_b += g_out;
+
+          // Backprop through hidden layers.
+          auto& d_last = s.delta[num_hidden - 1];
+          d_last.assign(h_last, 0.0);
+          for (size_t j = 0; j < h_last; ++j) {
+            if (last[j] > 0.0) d_last[j] = g_out * model.out_weights_[j];
+          }
+          for (size_t l = num_hidden - 1; l >= 1; --l) {
+            const size_t hl = static_cast<size_t>(model.hidden_[l]);
+            const size_t hp = static_cast<size_t>(model.hidden_[l - 1]);
+            const auto& prev = s.acts[l - 1];
+            auto& d_prev = s.delta[l - 1];
+            d_prev.assign(hp, 0.0);
+            for (size_t j = 0; j < hl; ++j) {
+              const double dj = s.delta[l][j];
+              if (dj == 0.0) continue;
+              double* gw_row = &s.grad_w[l][j * hp];
+              const double* w_row = &model.weights_[l][j * hp];
+              for (size_t i = 0; i < hp; ++i) {
+                gw_row[i] += dj * prev[i];
+                if (prev[i] > 0.0) d_prev[i] += dj * w_row[i];
+              }
+              s.grad_b[l][j] += dj;
+            }
+          }
+          // Input layer gradients (sparse).
+          const size_t h0 = static_cast<size_t>(model.hidden_[0]);
+          for (const auto& [idx, val] : ex.x.entries) {
+            double* gw_row = &s.grad_w[0][static_cast<size_t>(idx) * h0];
+            const auto& d0 = s.delta[0];
+            for (size_t j = 0; j < h0; ++j) gw_row[j] += d0[j] * val;
+          }
+          for (size_t j = 0; j < h0; ++j) s.grad_b[0][j] += s.delta[0][j];
+        }
+      });
+
+      // Fold slice partials in fixed slice order.
       for (size_t l = 0; l < num_hidden; ++l) {
         std::fill(grad_w[l].begin(), grad_w[l].end(), 0.0);
         std::fill(grad_b[l].begin(), grad_b[l].end(), 0.0);
       }
       std::fill(grad_out.begin(), grad_out.end(), 0.0);
       grad_out_b[0] = 0.0;
-
-      for (size_t k = start; k < end; ++k) {
-        const Example& ex = data.examples[perm[k]];
-        model.Forward(ex.x, &acts);
-        const auto& last = acts.back();
-        double logit = model.out_bias_;
-        for (size_t j = 0; j < h_last; ++j) {
-          logit += model.out_weights_[j] * last[j];
-        }
-        const double p = Sigmoid(logit);
-        double w = ex.weight;
-        if (ex.target > 0.5) w *= t.positive_weight;
-        const double g_out = w * (p - ex.target);  // dL/dlogit
-
-        // Output layer gradients.
-        for (size_t j = 0; j < h_last; ++j) grad_out[j] += g_out * last[j];
-        grad_out_b[0] += g_out;
-
-        // Backprop through hidden layers.
-        auto& d_last = delta[num_hidden - 1];
-        d_last.assign(h_last, 0.0);
-        for (size_t j = 0; j < h_last; ++j) {
-          if (last[j] > 0.0) d_last[j] = g_out * model.out_weights_[j];
-        }
-        for (size_t l = num_hidden - 1; l >= 1; --l) {
-          const size_t hl = static_cast<size_t>(model.hidden_[l]);
-          const size_t hp = static_cast<size_t>(model.hidden_[l - 1]);
-          const auto& prev = acts[l - 1];
-          auto& d_prev = delta[l - 1];
-          d_prev.assign(hp, 0.0);
-          for (size_t j = 0; j < hl; ++j) {
-            const double dj = delta[l][j];
-            if (dj == 0.0) continue;
-            double* gw_row = &grad_w[l][j * hp];
-            const double* w_row = &model.weights_[l][j * hp];
-            for (size_t i = 0; i < hp; ++i) {
-              gw_row[i] += dj * prev[i];
-              if (prev[i] > 0.0) d_prev[i] += dj * w_row[i];
-            }
-            grad_b[l][j] += dj;
+      for (size_t si = 0; si < used_slices; ++si) {
+        const auto& s = slices[si];
+        for (size_t l = 0; l < num_hidden; ++l) {
+          for (size_t i = 0; i < grad_w[l].size(); ++i) {
+            grad_w[l][i] += s.grad_w[l][i];
+          }
+          for (size_t i = 0; i < grad_b[l].size(); ++i) {
+            grad_b[l][i] += s.grad_b[l][i];
           }
         }
-        // Input layer gradients (sparse).
-        const size_t h0 = static_cast<size_t>(model.hidden_[0]);
-        for (const auto& [idx, val] : ex.x.entries) {
-          double* gw_row = &grad_w[0][static_cast<size_t>(idx) * h0];
-          const auto& d0 = delta[0];
-          for (size_t j = 0; j < h0; ++j) gw_row[j] += d0[j] * val;
-        }
-        for (size_t j = 0; j < h0; ++j) grad_b[0][j] += delta[0][j];
+        for (size_t j = 0; j < h_last; ++j) grad_out[j] += s.grad_out[j];
+        grad_out_b[0] += s.grad_out_b;
       }
 
       // Adam step (gradients averaged over the batch; L2 added).

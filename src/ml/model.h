@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "util/parallel.h"
 #include "util/result.h"
 
 namespace crossmodal {
@@ -23,7 +24,16 @@ struct TrainOptions {
   uint64_t seed = 0x7EA1;
   /// Up-weights positive-leaning targets by this factor (class imbalance).
   double positive_weight = 1.0;
+  /// Batch gradients accumulate into per-slice partial sums (a fixed slice
+  /// count, independent of the thread count) combined in slice order, so
+  /// trained weights are bit-identical for every ParallelConfig.
+  ParallelConfig parallel;
 };
+
+/// Fixed number of gradient-accumulation slices per minibatch. Constant —
+/// never derived from the thread count — so the float summation tree of a
+/// batch gradient is the same whether 1 or N workers execute the slices.
+inline constexpr size_t kGradSlices = 8;
 
 /// A trained binary classifier.
 class Model {

@@ -107,15 +107,21 @@ Result<ModelPtr> TrainModel(const Dataset& data, const ModelSpec& spec) {
 }
 
 namespace {
-double ValidationAuprc(const Model& model, const Dataset& val) {
-  std::vector<double> scores;
-  std::vector<int> labels;
-  scores.reserve(val.size());
-  labels.reserve(val.size());
-  for (const Example& ex : val.examples) {
-    scores.push_back(model.Predict(ex.x));
-    labels.push_back(ex.target >= 0.5f ? 1 : 0);
-  }
+double ValidationAuprc(const Model& model, const Dataset& val,
+                       const ParallelConfig& parallel) {
+  std::vector<double> scores(val.size());
+  std::vector<int> labels(val.size());
+  // Scoring is read-only on the model and each index owns its output slot,
+  // so slices are independent and the AUPRC is thread-count-invariant.
+  StagePool pool(parallel);
+  ForEachSlice(pool.get(), val.size(), kGradSlices,
+               [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Example& ex = val.examples[i];
+      scores[i] = model.Predict(ex.x);
+      labels[i] = ex.target >= 0.5f ? 1 : 0;
+    }
+  });
   return AveragePrecision(scores, labels);
 }
 }  // namespace
@@ -139,7 +145,7 @@ Result<TuneResult> GridSearch(const Dataset& train, const Dataset& val,
         spec.train.l2 = l2;
         if (base.kind == ModelKind::kMlp) spec.hidden = stack;
         CM_ASSIGN_OR_RETURN(ModelPtr model, TrainModel(train, spec));
-        const double auprc = ValidationAuprc(*model, val);
+        const double auprc = ValidationAuprc(*model, val, spec.train.parallel);
         ++result.trials;
         if (auprc > result.best_val_auprc) {
           result.best_val_auprc = auprc;

@@ -1,9 +1,18 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <exception>
 #include <utility>
 
 namespace crossmodal {
+
+namespace {
+// True on threads currently executing a task of *any* ThreadPool; lets
+// ParallelFor detect re-entry from a worker and degrade to an inline loop
+// instead of deadlocking in Wait() on its own task.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
@@ -38,6 +47,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -57,15 +67,39 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (t_in_pool_worker) {
+    // Nested call from a worker: run inline (see header contract).
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const size_t workers = num_threads();
   const size_t chunk = std::max<size_t>(1, (n + workers * 4 - 1) / (workers * 4));
+
+  // First-by-index exception capture: chunks race, so "first thrown" is
+  // nondeterministic — keep the exception from the lowest chunk begin
+  // instead, making the rethrown error independent of scheduling.
+  Mutex error_mu{"parallel_for_error"};
+  std::exception_ptr error;
+  size_t error_begin = 0;
+  bool has_error = false;
+
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
+    Submit([begin, end, &fn, &error_mu, &error, &error_begin, &has_error] {
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        MutexLock lock(&error_mu);
+        if (!has_error || begin < error_begin) {
+          has_error = true;
+          error_begin = begin;
+          error = std::current_exception();
+        }
+      }
     });
   }
   Wait();
+  if (has_error) std::rethrow_exception(error);
 }
 
 }  // namespace crossmodal

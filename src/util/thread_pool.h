@@ -29,7 +29,10 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  /// Enqueues a task. May be called from worker threads.
+  /// Enqueues a task. May be called from worker threads. Tasks must not
+  /// throw: an exception escaping a bare Submit task terminates the process
+  /// (it would otherwise unwind a worker thread). Use ParallelFor for work
+  /// that may throw.
   void Submit(std::function<void()> task) CM_LOCKS_EXCLUDED(mu_);
 
   /// Blocks until every task submitted so far (including tasks they spawn)
@@ -41,6 +44,15 @@ class ThreadPool {
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   /// Work is chunked to limit scheduling overhead.
+  ///
+  /// Nesting: called from any pool's worker thread (e.g. from inside
+  /// another ParallelFor body), the loop runs inline on the calling worker
+  /// — submitting and waiting there could deadlock on its own task.
+  ///
+  /// Exceptions: if any fn(i) throws, every remaining index still runs
+  /// (other chunks are not cancelled), and the exception thrown from the
+  /// lowest-indexed chunk is rethrown here after all work has drained, so
+  /// the surfaced error does not depend on thread timing.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
       CM_LOCKS_EXCLUDED(mu_);
 

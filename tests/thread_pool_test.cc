@@ -8,6 +8,8 @@
 #include <atomic>
 #include <cstddef>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -103,6 +105,60 @@ TEST(ThreadPoolTest, ConcurrentSubmittersFromExternalThreads) {
   for (auto& t : producers) t.join();
   pool.Wait();
   EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  std::atomic<int> nested_on_worker{0};
+  // The outer loop's bodies run on pool workers; the inner ParallelFor must
+  // detect that and degrade to an inline loop (submitting + waiting from a
+  // worker could deadlock on its own task). Every (outer, inner) pair still
+  // runs exactly once.
+  pool.ParallelFor(4, [&pool, &hits, &nested_on_worker](size_t) {
+    nested_on_worker.fetch_add(1, std::memory_order_relaxed);
+    pool.ParallelFor(100, [&hits](size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(nested_on_worker.load(), 4);
+  EXPECT_EQ(hits.load(), 400);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesLowestChunkException) {
+  ThreadPool pool(4);
+  // With 4 workers and n=64, ParallelFor chunks by 4: the throws at i=5 and
+  // i=60 land in the chunks beginning at 4 and 60. The contract rethrows
+  // the lowest-begin chunk's exception regardless of which chunk ran first,
+  // and still runs every non-throwing index.
+  constexpr size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  std::string message;
+  try {
+    pool.ParallelFor(kN, [&hits](size_t i) {
+      if (i == 5 || i == 60) throw std::runtime_error("boom " + std::to_string(i));
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "ParallelFor swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "boom 5");
+  // A throw abandons the rest of its own chunk ([4,8) stops after 5, [60,64)
+  // stops at 60) but no other chunk: every index outside the two throwing
+  // chunks must have run exactly once.
+  for (size_t i = 0; i < kN; ++i) {
+    if (i >= 4 && i < 8) continue;
+    if (i >= 60) continue;
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(hits[4].load(), 1);  // ran before the throw at 5
+  // The pool is still usable after an exception drained through Wait().
+  std::atomic<int> after{0};
+  pool.ParallelFor(10, [&after](size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10);
 }
 
 TEST(ThreadPoolTest, MinimumOneWorker) {

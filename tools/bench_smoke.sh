@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Bench harness smoke: runs the micro-substrate benches for a single
+# iteration each, then validates the emitted BENCH_micro_substrates.json
+# against the BenchReporter schema with bench_compare --validate — proving
+# the JSON pipeline (emit -> parse -> gate) works end to end without paying
+# for a full benchmark run. Registered as the `bench_smoke` ctest test:
+#
+#   tools/bench_smoke.sh <bench_micro_substrates-binary> \
+#       <bench_compare-binary> <output-dir>
+set -euo pipefail
+
+BENCH_BIN=${1:?usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir>}
+COMPARE_BIN=${2:?usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir>}
+OUT_DIR=${3:?usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir>}
+
+JSON="${OUT_DIR}/BENCH_micro_substrates.json"
+rm -f "${JSON}"
+
+echo "== bench_micro_substrates (1 iteration per bench) =="
+# Hot paths only: the kNN / propagation / trainer benches cover every
+# BenchStage field (threads, entities, seed); min_time=0 + repetitions=1
+# keeps this a schema check, not a measurement.
+CM_BENCH_JSON_DIR="${OUT_DIR}" "${BENCH_BIN}" \
+  --benchmark_filter='BM_KnnGraphBuild|BM_LabelPropagation|BM_LogisticRegressionTrain' \
+  --benchmark_min_time=0 --benchmark_repetitions=1
+
+echo "== bench_compare --validate =="
+"${COMPARE_BIN}" --validate "${JSON}"
+
+# The self-compare must pass trivially (every ratio is 1.00x).
+echo "== bench_compare self-diff =="
+"${COMPARE_BIN}" "${JSON}" "${JSON}"
+
+echo "bench_smoke: OK"

@@ -6,6 +6,7 @@
 // across the two runs, so it doubles as a ctest regression gate.
 //
 //   cmaudit [--task N] [--scale F] [--seed S] [--registry-seed S]
+//           [--threads N]
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +22,7 @@ namespace {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cmaudit [--task N] [--scale F] [--seed S] "
-               "[--registry-seed S]\n");
+               "[--registry-seed S] [--threads N]\n");
 }
 
 bool ParseArgs(int argc, char** argv, DeterminismOptions* options) {
@@ -36,12 +37,15 @@ bool ParseArgs(int argc, char** argv, DeterminismOptions* options) {
       options->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--registry-seed") {
       options->registry_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--threads") {
+      options->num_threads = static_cast<size_t>(std::atoi(value.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
-  return options->task >= 1 && options->task <= 5 && options->scale > 0.0;
+  return options->task >= 1 && options->task <= 5 && options->scale > 0.0 &&
+         options->num_threads >= 1;
 }
 
 }  // namespace
@@ -53,10 +57,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("cmaudit: task CT%d scale %.3f seed %llu — running the stack "
-              "twice...\n",
+  std::printf("cmaudit: task CT%d scale %.3f seed %llu threads %zu — running "
+              "the stack twice...\n",
               options.task, options.scale,
-              static_cast<unsigned long long>(options.seed));
+              static_cast<unsigned long long>(options.seed),
+              options.num_threads);
 
   DeterminismHarness harness(options);
   auto report = harness.RunAudit();
