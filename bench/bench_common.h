@@ -9,9 +9,11 @@
 #define CROSSMODAL_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -86,6 +88,11 @@ struct BenchStage {
   size_t entities = 0;   ///< Work size (nodes / examples) the timing covers.
   uint64_t seed = 0;     ///< Seed the inputs were generated from.
   int reps = 1;          ///< Timed repetitions behind wall_ms.
+  /// Optional quality metric carried next to the timing (e.g. AUPRC of an
+  /// availability-sweep arm). Emitted as "metric" only when finite;
+  /// bench_compare tracks wall_ms and ignores unknown keys, so metric rows
+  /// stay schema-compatible.
+  double metric = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Writes BENCH_<name>.json — the machine-readable counterpart of a bench's
@@ -139,8 +146,9 @@ class BenchReporter {
       os << (i == 0 ? "\n" : ",\n");
       os << "    {\"stage\": \"" << Escape(s.stage) << "\", \"wall_ms\": "
          << s.wall_ms << ", \"threads\": " << s.threads << ", \"entities\": "
-         << s.entities << ", \"seed\": " << s.seed << ", \"reps\": " << s.reps
-         << "}";
+         << s.entities << ", \"seed\": " << s.seed << ", \"reps\": " << s.reps;
+      if (std::isfinite(s.metric)) os << ", \"metric\": " << s.metric;
+      os << "}";
     }
     os << "\n  ]\n}\n";
     return os.str();

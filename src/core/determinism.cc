@@ -167,6 +167,14 @@ Result<StageHashes> RunStack(const DeterminismOptions& options) {
   CM_ASSIGN_OR_RETURN(ResourceRegistry registry,
                       BuildModerationRegistry(generator,
                                               options.registry_seed));
+  if (!options.fault_plan.empty()) {
+    if (!options.fault_plan.IsScheduleDeterministic()) {
+      return Status::InvalidArgument(
+          "fault plan uses arrival-ordered down_after; such faults depend on "
+          "thread interleaving and cannot pass a determinism audit");
+    }
+    CM_RETURN_IF_ERROR(registry.InstallFaultLayer(options.fault_plan));
+  }
 
   PipelineConfig config;
   config.seed = options.seed;

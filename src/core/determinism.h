@@ -30,6 +30,7 @@
 #include "graph/knn_graph.h"
 #include "labeling/label_matrix.h"
 #include "labeling/label_model.h"
+#include "resources/fault_injection.h"
 #include "synth/entity.h"
 #include "util/result.h"
 
@@ -46,6 +47,12 @@ struct DeterminismOptions {
   /// Any value must produce the same hashes — the double run also proves
   /// the parallel schedule cannot leak into the artifacts.
   size_t num_threads = 1;
+  /// Fault plan installed on the registry before the audit, so determinism
+  /// is provable *with* injected outages, retries, and degraded rows. Must
+  /// satisfy FaultPlan::IsScheduleDeterministic() (RunAudit rejects
+  /// arrival-ordered `down_after` plans, whose faults depend on thread
+  /// interleaving by construction). Empty = audit the healthy pipeline.
+  FaultPlan fault_plan;
 };
 
 /// One stage's double-run comparison.

@@ -29,13 +29,18 @@ Status CrossModalPipeline::GenerateFeatureSpace() {
                       SelectFeatures(registry_->schema(), config_.features));
   Timer timer;
   store_ = std::make_unique<FeatureStore>(&registry_->schema());
+  // Health counters are scoped to this pipeline's step A so the report is a
+  // pure function of (corpus, registry, fault plan).
+  registry_->ResetHealth();
   MapReduceExecutor executor;
-  GenerateFeatures(corpus_->text_labeled, *registry_, &executor, store_.get());
+  GenerateFeatures(corpus_->text_labeled, *registry_, &executor, store_.get(),
+                   &gen_stats_);
   GenerateFeatures(corpus_->image_unlabeled, *registry_, &executor,
-                   store_.get());
+                   store_.get(), &gen_stats_);
   GenerateFeatures(corpus_->image_labeled_pool, *registry_, &executor,
-                   store_.get());
-  GenerateFeatures(corpus_->image_test, *registry_, &executor, store_.get());
+                   store_.get(), &gen_stats_);
+  GenerateFeatures(corpus_->image_test, *registry_, &executor, store_.get(),
+                   &gen_stats_);
   feature_gen_seconds_ = timer.ElapsedSeconds();
   features_generated_ = true;
   return Status::OK();
@@ -279,6 +284,24 @@ Result<PipelineResult> CrossModalPipeline::Run() {
   result.report.n_text_train = n_text;
   result.report.n_ws_train = n_ws;
   result.report.n_features = registry_->schema().size();
+
+  // ---- Step-A degradation stats (see resources/fault_injection.h). -------
+  result.report.rows_generated = gen_stats_.rows;
+  result.report.service_health = registry_->HealthSnapshot();
+  uint64_t requests = 0, missing = 0, degraded = 0;
+  for (const ServiceHealth& h : result.report.service_health) {
+    requests += h.requests;
+    missing += h.abstains_served + h.degraded_misses;
+    degraded += h.degraded_misses;
+    if (h.degraded()) ++result.report.services_degraded;
+  }
+  if (requests > 0) {
+    result.report.feature_missing_fraction =
+        static_cast<double>(missing) / static_cast<double>(requests);
+    result.report.feature_degraded_fraction =
+        static_cast<double>(degraded) / static_cast<double>(requests);
+  }
+  result.report.lf_coverage = result.curation.lf_total_coverage;
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/feature_selection.h"
+#include "dataflow/feature_generation.h"
 #include "fusion/fusion.h"
 #include "graph/knn_graph.h"
 #include "graph/label_propagation.h"
@@ -87,7 +88,8 @@ struct CurationArtifacts {
   std::vector<ProbabilisticLabel> weak_labels;
 };
 
-/// Timing and volume report.
+/// Timing and volume report, plus per-stage degradation stats when a fault
+/// layer is installed on the registry (resources/fault_injection.h).
 struct PipelineReport {
   double feature_gen_seconds = 0.0;
   double curation_seconds = 0.0;
@@ -95,6 +97,25 @@ struct PipelineReport {
   size_t n_text_train = 0;
   size_t n_ws_train = 0;
   size_t n_features = 0;
+
+  // ---- Degradation (step A) ----
+  /// Per-service health counters, index-aligned with the schema. All zeros
+  /// except `requests` when no fault layer is installed.
+  std::vector<ServiceHealth> service_health;
+  /// Services that lost at least one request past the retry budget.
+  size_t services_degraded = 0;
+  /// Fraction of applicable (service, entity) requests answered with a
+  /// missing value — natural abstains plus degraded misses.
+  double feature_missing_fraction = 0.0;
+  /// Fraction lost to outages alone (degraded misses / requests).
+  double feature_degraded_fraction = 0.0;
+  /// Entities materialized in step A (all corpus splits).
+  size_t rows_generated = 0;
+
+  // ---- Degradation (step B) ----
+  /// LF coverage on the unlabeled new modality; drops when services are
+  /// down because LFs over their features abstain.
+  double lf_coverage = 0.0;
 };
 
 /// A fitted pipeline.
@@ -143,6 +164,7 @@ class CrossModalPipeline {
   std::unique_ptr<FeatureStore> store_;
   bool features_generated_ = false;
   double feature_gen_seconds_ = 0.0;
+  FeatureGenStats gen_stats_;
 };
 
 }  // namespace crossmodal

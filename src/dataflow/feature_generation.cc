@@ -2,23 +2,52 @@
 
 #include <utility>
 
+#include "util/logging.h"
+
 namespace crossmodal {
+
+void FeatureGenStats::Merge(const FeatureGenStats& other) {
+  rows += other.rows;
+  if (populated.empty()) {
+    populated = other.populated;
+    return;
+  }
+  CM_CHECK(populated.size() == other.populated.size());
+  for (size_t f = 0; f < populated.size(); ++f) {
+    populated[f] += other.populated[f];
+  }
+}
 
 void GenerateFeatures(const std::vector<Entity>& entities,
                       const ResourceRegistry& registry,
-                      MapReduceExecutor* executor, FeatureStore* store) {
+                      MapReduceExecutor* executor, FeatureStore* store,
+                      FeatureGenStats* stats) {
   using Row = std::pair<EntityId, FeatureVector>;
   std::function<Row(const Entity&)> fn = [&registry](const Entity& e) {
     return Row{e.id, registry.GenerateFeatures(e)};
   };
   auto rows = executor->ParallelMap(entities, fn);
-  for (auto& [id, row] : rows) store->Put(id, std::move(row));
+  if (stats != nullptr && stats->populated.empty()) {
+    stats->populated.assign(registry.schema().size(), 0);
+  }
+  for (auto& [id, row] : rows) {
+    if (stats != nullptr) {
+      ++stats->rows;
+      for (size_t f = 0; f < row.size(); ++f) {
+        if (!row.Get(static_cast<FeatureId>(f)).is_missing()) {
+          ++stats->populated[f];
+        }
+      }
+    }
+    store->Put(id, std::move(row));
+  }
 }
 
 void GenerateFeatures(const std::vector<Entity>& entities,
-                      const ResourceRegistry& registry, FeatureStore* store) {
+                      const ResourceRegistry& registry, FeatureStore* store,
+                      FeatureGenStats* stats) {
   MapReduceExecutor executor;
-  GenerateFeatures(entities, registry, &executor, store);
+  GenerateFeatures(entities, registry, &executor, store, stats);
 }
 
 }  // namespace crossmodal

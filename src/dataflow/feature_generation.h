@@ -12,15 +12,35 @@
 
 namespace crossmodal {
 
+/// Volume/degradation telemetry for one or more feature-generation jobs.
+/// Deterministic: every field is a sum over (entity, feature) slots, so it
+/// is independent of executor scheduling.
+struct FeatureGenStats {
+  size_t rows = 0;  ///< Entities materialized.
+  /// Populated slots per feature, index-aligned with the schema. A row's
+  /// slot can be empty because the service does not apply to the entity's
+  /// modality, abstained, or was degraded to missing by the fault layer
+  /// (see resources/fault_injection.h) — the registry health counters
+  /// distinguish those cases.
+  std::vector<size_t> populated;
+
+  /// Accumulates another job's counts (schemas must match).
+  void Merge(const FeatureGenStats& other);
+};
+
 /// Applies every service in `registry` to every entity (in parallel on
-/// `executor`) and materializes the rows into `store`.
+/// `executor`) and materializes the rows into `store`. A service that fails
+/// past its retry budget leaves a missing slot — generation itself never
+/// aborts. `stats`, when non-null, accumulates row/slot telemetry.
 void GenerateFeatures(const std::vector<Entity>& entities,
                       const ResourceRegistry& registry,
-                      MapReduceExecutor* executor, FeatureStore* store);
+                      MapReduceExecutor* executor, FeatureStore* store,
+                      FeatureGenStats* stats = nullptr);
 
 /// Convenience overload running on a private executor.
 void GenerateFeatures(const std::vector<Entity>& entities,
-                      const ResourceRegistry& registry, FeatureStore* store);
+                      const ResourceRegistry& registry, FeatureStore* store,
+                      FeatureGenStats* stats = nullptr);
 
 }  // namespace crossmodal
 

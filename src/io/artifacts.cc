@@ -1,11 +1,11 @@
 #include "io/artifacts.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
 #include <sstream>
 
 #include "io/tsv.h"
+#include "util/parse_number.h"
 
 namespace crossmodal {
 
@@ -35,27 +35,26 @@ Result<std::vector<std::string>> SplitPipe(const std::string& text) {
   return parts;
 }
 
-Result<double> ParseDouble(const std::string& text) {
-  try {
-    size_t consumed = 0;
-    const double v = std::stod(text, &consumed);
-    if (consumed != text.size()) {
-      return Status::InvalidArgument("trailing characters in number: " + text);
-    }
-    return v;
-  } catch (const std::exception&) {
-    return Status::InvalidArgument("not a number: " + text);
-  }
-}
+// Numeric parsing lives in util/parse_number.h (ParseInt64 / ParseDouble /
+// ParseFiniteDouble) so the readers here and the CLI tools agree on what a
+// malformed number is.
 
-Result<int64_t> ParseInt(const std::string& text) {
-  int64_t v = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), v);
-  if (ec != std::errc() || ptr != text.data() + text.size()) {
-    return Status::InvalidArgument("not an integer: " + text);
+/// Fails unless the file's header row matches `expected` exactly — a
+/// truncated or reordered header would otherwise silently misassign every
+/// column below it.
+Status CheckHeader(const std::vector<std::string>& header,
+                   const std::vector<std::string>& expected,
+                   const std::string& what) {
+  if (header != expected) {
+    std::string want;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (i > 0) want += '\t';
+      want += expected[i];
+    }
+    return Status::InvalidArgument("bad " + what + " header; expected: " +
+                                   want);
   }
-  return v;
+  return Status::OK();
 }
 
 std::string FormatDouble(double v) {
@@ -103,7 +102,7 @@ Result<FeatureValue> DecodeFeatureValue(const std::string& text) {
       std::vector<int32_t> categories;
       categories.reserve(parts.size());
       for (const auto& p : parts) {
-        CM_ASSIGN_OR_RETURN(int64_t v, ParseInt(p));
+        CM_ASSIGN_OR_RETURN(int64_t v, ParseInt64(p));
         categories.push_back(static_cast<int32_t>(v));
       }
       return FeatureValue::Categorical(std::move(categories));
@@ -141,6 +140,10 @@ Status WriteSchemaTsv(const FeatureSchema& schema, const std::string& path) {
 Result<FeatureSchema> ReadSchemaTsv(const std::string& path) {
   CM_ASSIGN_OR_RETURN(auto lines, ReadLines(path));
   if (lines.empty()) return Status::InvalidArgument("empty schema file");
+  CM_RETURN_IF_ERROR(CheckHeader(
+      TsvSplit(lines[0]),
+      {"name", "type", "set", "cardinality", "modalities", "servable"},
+      "schema"));
   FeatureSchema schema;
   for (size_t i = 1; i < lines.size(); ++i) {
     const auto fields = TsvSplit(lines[i]);
@@ -149,11 +152,11 @@ Result<FeatureSchema> ReadSchemaTsv(const std::string& path) {
     }
     FeatureDef def;
     def.name = fields[0];
-    CM_ASSIGN_OR_RETURN(int64_t type, ParseInt(fields[1]));
-    CM_ASSIGN_OR_RETURN(int64_t set, ParseInt(fields[2]));
-    CM_ASSIGN_OR_RETURN(int64_t cardinality, ParseInt(fields[3]));
-    CM_ASSIGN_OR_RETURN(int64_t modalities, ParseInt(fields[4]));
-    CM_ASSIGN_OR_RETURN(int64_t servable, ParseInt(fields[5]));
+    CM_ASSIGN_OR_RETURN(int64_t type, ParseInt64(fields[1]));
+    CM_ASSIGN_OR_RETURN(int64_t set, ParseInt64(fields[2]));
+    CM_ASSIGN_OR_RETURN(int64_t cardinality, ParseInt64(fields[3]));
+    CM_ASSIGN_OR_RETURN(int64_t modalities, ParseInt64(fields[4]));
+    CM_ASSIGN_OR_RETURN(int64_t servable, ParseInt64(fields[5]));
     def.type = static_cast<FeatureType>(type);
     def.set = static_cast<ServiceSet>(set);
     def.cardinality = static_cast<int32_t>(cardinality);
@@ -213,7 +216,7 @@ Result<FeatureStore> ReadFeatureStoreTsv(const FeatureSchema* schema,
     if (fields.size() != schema->size() + 1) {
       return Status::InvalidArgument("bad store line: " + lines[i]);
     }
-    CM_ASSIGN_OR_RETURN(int64_t entity, ParseInt(fields[0]));
+    CM_ASSIGN_OR_RETURN(int64_t entity, ParseInt64(fields[0]));
     FeatureVector row(schema->size());
     for (size_t f = 0; f < schema->size(); ++f) {
       CM_ASSIGN_OR_RETURN(FeatureValue value,
@@ -243,6 +246,9 @@ Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
     const std::string& path) {
   CM_ASSIGN_OR_RETURN(auto lines, ReadLines(path));
   if (lines.empty()) return Status::InvalidArgument("empty labels file");
+  CM_RETURN_IF_ERROR(CheckHeader(TsvSplit(lines[0]),
+                                 {"entity", "p_positive", "covered"},
+                                 "weak-labels"));
   std::vector<ProbabilisticLabel> labels;
   labels.reserve(lines.size() - 1);
   for (size_t i = 1; i < lines.size(); ++i) {
@@ -251,9 +257,10 @@ Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
       return Status::InvalidArgument("bad label line: " + lines[i]);
     }
     ProbabilisticLabel label;
-    CM_ASSIGN_OR_RETURN(int64_t entity, ParseInt(fields[0]));
-    CM_ASSIGN_OR_RETURN(label.p_positive, ParseDouble(fields[1]));
-    CM_ASSIGN_OR_RETURN(int64_t covered, ParseInt(fields[2]));
+    CM_ASSIGN_OR_RETURN(int64_t entity, ParseInt64(fields[0]));
+    // A NaN/inf probability would silently poison downstream training.
+    CM_ASSIGN_OR_RETURN(label.p_positive, ParseFiniteDouble(fields[1]));
+    CM_ASSIGN_OR_RETURN(int64_t covered, ParseInt64(fields[2]));
     label.entity = static_cast<EntityId>(entity);
     label.covered = covered != 0;
     labels.push_back(label);

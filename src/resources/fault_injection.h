@@ -1,0 +1,241 @@
+// Deterministic fault injection and retry/backoff for organizational
+// services.
+//
+// The paper's feature space is assembled from *other teams'* services
+// (§3.1), and in production those services flake, time out, get deprecated,
+// or return partial results (the unreliable organizational infrastructure
+// Snorkel DryBell stresses). This layer simulates that failure surface
+// while keeping the repo's determinism contract:
+//
+//   * FaultInjectingService wraps any FeatureService and injects transient
+//     failures, deadline timeouts, simulated latency, and permanent outages.
+//     Every fault decision is a pure function of
+//     (fault seed, service name, entity id, attempt index) via the
+//     DeriveSeed chain, so a faulty run is bit-reproducible across runs and
+//     thread counts — cmaudit audits the pipeline *with* faults enabled.
+//   * RetryingService layers capped deterministic exponential backoff with
+//     jitter and a per-service retry budget on top; transient faults
+//     (Unavailable / DeadlineExceeded) are retried, permanent outages
+//     (FailedPrecondition) are not.
+//   * When the budget is exhausted the service degrades gracefully: Apply()
+//     records a missing value, feature generation leaves the slot empty,
+//     LFs over the feature abstain, and the pipeline reports per-service
+//     degradation stats instead of aborting.
+//
+// The one knob that is *not* order-independent is a mid-range permanent
+// outage (0 < down_after < kNeverDown): which entities hit the outage
+// depends on request arrival order, so it is only deterministic under
+// serial feature generation. down_after == 0 (hard down) and the rate-based
+// faults are safe under any parallelism; FaultPlan::IsScheduleDeterministic
+// tells the determinism harness which plans are auditable.
+
+#ifndef CROSSMODAL_RESOURCES_FAULT_INJECTION_H_
+#define CROSSMODAL_RESOURCES_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "resources/feature_service.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Fault profile of one upstream service.
+struct ServiceFaultConfig {
+  /// Sentinel: the service never goes permanently down.
+  static constexpr uint64_t kNeverDown = std::numeric_limits<uint64_t>::max();
+
+  /// P(one attempt fails with Unavailable), drawn deterministically per
+  /// (fault seed, service, entity, attempt).
+  double transient_rate = 0.0;
+  /// P(one attempt fails with DeadlineExceeded), drawn the same way.
+  double timeout_rate = 0.0;
+  /// Simulated upstream latency added to the health stats per successful
+  /// call (no real sleeping; wall time stays test-friendly).
+  uint64_t latency_us = 0;
+  /// Permanent outage after this many requests: 0 = down from the first
+  /// call (deterministic under any parallelism), kNeverDown = disabled.
+  /// Mid-range values count real arrivals and are order-sensitive — see the
+  /// file comment.
+  uint64_t down_after = kNeverDown;
+};
+
+/// Retry/backoff policy layered over a faulty service.
+struct RetryPolicy {
+  /// Total tries per logical request (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before retry k is min(base << k, max) scaled by a
+  /// deterministic jitter in [0.5, 1.0]; accumulated in the health stats,
+  /// never actually slept.
+  uint64_t base_backoff_us = 1000;
+  uint64_t max_backoff_us = 50000;
+};
+
+/// Point-in-time health snapshot of one service (see ServiceHealthCounters
+/// for field semantics).
+struct ServiceHealth {
+  std::string service;
+  uint64_t requests = 0;
+  uint64_t attempts = 0;
+  uint64_t successes = 0;
+  uint64_t transient_failures = 0;
+  uint64_t timeouts = 0;
+  uint64_t permanent_failures = 0;
+  uint64_t retries = 0;
+  uint64_t abstains_served = 0;
+  uint64_t degraded_misses = 0;
+  uint64_t backoff_us = 0;
+  uint64_t simulated_latency_us = 0;
+
+  /// True if the service ever served a degraded (fault-exhausted) miss or a
+  /// permanent failure.
+  bool degraded() const {
+    return degraded_misses > 0 || permanent_failures > 0;
+  }
+};
+
+/// Lock-free per-service health counters, shared between the registry and
+/// the fault/retry decorators wrapping that service. All increments are
+/// relaxed: each field is an independent statistic, and every count is a sum
+/// of per-entity deterministic contributions, so totals are
+/// schedule-independent whenever the underlying fault plan is.
+class ServiceHealthCounters {
+ public:
+  ServiceHealthCounters() = default;
+  ServiceHealthCounters(const ServiceHealthCounters&) = delete;
+  ServiceHealthCounters& operator=(const ServiceHealthCounters&) = delete;
+
+  /// Top-level applications routed through the registry.
+  std::atomic<uint64_t> requests{0};
+  /// Individual tries, including retries.
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> transient_failures{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> permanent_failures{0};
+  /// Retries issued by a RetryingService after a transient failure.
+  std::atomic<uint64_t> retries{0};
+  /// Requests answered with a (genuine) abstention.
+  std::atomic<uint64_t> abstains_served{0};
+  /// Requests where the retry budget ran out and a missing value was
+  /// recorded instead — the degraded-mode contract.
+  std::atomic<uint64_t> degraded_misses{0};
+  /// Total deterministic backoff the retry layer would have waited.
+  std::atomic<uint64_t> backoff_us{0};
+  /// Total simulated upstream latency of successful calls.
+  std::atomic<uint64_t> simulated_latency_us{0};
+
+  void Add(std::atomic<uint64_t>& field, uint64_t n = 1) {
+    field.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Copies the counters into a plain snapshot.
+  ServiceHealth Snapshot(std::string service_name) const;
+
+  /// Zeroes every counter (e.g. between benchmark arms).
+  void Reset();
+};
+
+/// Which services a fault campaign hits and how. Parsed from the
+/// `--fault-plan` CLI spec:
+///
+///   plan    := directive (';' directive)*
+///   directive := "seed=" U64 | service ':' kv (',' kv)*
+///   service := service name | '*'            (matches every service)
+///   kv      := "transient=" F | "timeout=" F | "latency_us=" U64
+///            | "down_after=" U64 | "down"    (down_after=0, hard outage)
+///            | "attempts=" INT | "backoff_us=" U64 | "max_backoff_us=" U64
+///
+/// e.g. "*:transient=0.1;topic_primary:down;kg_entities:timeout=0.3,attempts=4".
+/// For each service the *last* matching entry wins.
+struct FaultPlan {
+  struct Entry {
+    std::string service;  ///< Exact service name, or "*" for all.
+    ServiceFaultConfig fault;
+    RetryPolicy retry;
+  };
+
+  /// Root of the deterministic fault schedule; every decorator derives its
+  /// stream as DeriveSeed(DeriveSeed(seed, service name), entity, attempt).
+  uint64_t seed = 0xFA17;
+  std::vector<Entry> entries;
+
+  bool empty() const { return entries.empty(); }
+
+  /// Last entry matching `service_name` (exact match beats nothing; "*"
+  /// matches everything), or nullptr.
+  const Entry* FindEntry(const std::string& service_name) const;
+
+  /// True when every fault decision is a pure function of
+  /// (seed, service, entity, attempt) — i.e. no entry uses a mid-range
+  /// down_after counter. Only such plans may be used under parallel feature
+  /// generation / the determinism audit.
+  bool IsScheduleDeterministic() const;
+
+  /// Parses the CLI spec above; an empty string yields an empty plan.
+  [[nodiscard]] static Result<FaultPlan> Parse(const std::string& spec);
+};
+
+/// Decorator injecting deterministic faults into an upstream service.
+class FaultInjectingService : public FeatureService {
+ public:
+  /// `counters` may be null (no stats recorded); when provided it must
+  /// outlive the service.
+  FaultInjectingService(FeatureServicePtr inner, ServiceFaultConfig config,
+                        uint64_t fault_seed,
+                        ServiceHealthCounters* counters = nullptr);
+
+  const FeatureDef& output_def() const override {
+    return inner_->output_def();
+  }
+  ResourceKind kind() const override { return inner_->kind(); }
+
+  /// Degrades failures to a missing value (LFs abstain downstream).
+  FeatureValue Apply(const Entity& entity) const override;
+
+  using FeatureService::Call;
+  [[nodiscard]] Result<FeatureValue> Call(const Entity& entity,
+                                          int attempt) const override;
+
+ private:
+  FeatureServicePtr inner_;
+  ServiceFaultConfig config_;
+  uint64_t service_seed_;  // DeriveSeed(fault_seed, service name)
+  ServiceHealthCounters* counters_;
+  /// Arrival counter for mid-range down_after (order-sensitive by design).
+  mutable std::atomic<uint64_t> arrivals_{0};
+};
+
+/// Decorator retrying transient failures with capped deterministic
+/// exponential backoff.
+class RetryingService : public FeatureService {
+ public:
+  RetryingService(FeatureServicePtr inner, RetryPolicy policy,
+                  uint64_t fault_seed,
+                  ServiceHealthCounters* counters = nullptr);
+
+  const FeatureDef& output_def() const override {
+    return inner_->output_def();
+  }
+  ResourceKind kind() const override { return inner_->kind(); }
+
+  /// Degrades an exhausted retry budget to a missing value.
+  FeatureValue Apply(const Entity& entity) const override;
+
+  using FeatureService::Call;
+  [[nodiscard]] Result<FeatureValue> Call(const Entity& entity,
+                                          int attempt) const override;
+
+ private:
+  FeatureServicePtr inner_;
+  RetryPolicy policy_;
+  uint64_t retry_seed_;  // DeriveSeed(fault_seed, "retry/<service name>")
+  ServiceHealthCounters* counters_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_FAULT_INJECTION_H_

@@ -14,6 +14,7 @@
 #include "features/feature_schema.h"
 #include "features/feature_value.h"
 #include "synth/entity.h"
+#include "util/result.h"
 
 namespace crossmodal {
 
@@ -46,6 +47,24 @@ class FeatureService {
 
   /// Computes the feature for one entity.
   virtual FeatureValue Apply(const Entity& entity) const = 0;
+
+  /// Fallible application: like Apply(), but a broken upstream can surface
+  /// the failure (Unavailable / DeadlineExceeded for transient faults,
+  /// FailedPrecondition for permanent outages) instead of silently
+  /// abstaining. `attempt` numbers the retries of one logical request so
+  /// fault-injecting decorators can draw independent deterministic faults
+  /// per try; implementations without a failure mode ignore it. The default
+  /// wraps Apply() and never fails.
+  [[nodiscard]] virtual Result<FeatureValue> Call(const Entity& entity,
+                                                  int attempt) const {
+    (void)attempt;
+    return Apply(entity);
+  }
+
+  /// First-attempt convenience overload.
+  [[nodiscard]] Result<FeatureValue> Call(const Entity& entity) const {
+    return Call(entity, 0);
+  }
 
   const std::string& name() const { return output_def().name; }
 

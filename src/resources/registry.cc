@@ -16,6 +16,7 @@ Status ResourceRegistry::Register(FeatureServicePtr service) {
   CM_ASSIGN_OR_RETURN(FeatureId id, schema_.Add(service->output_def()));
   CM_CHECK(static_cast<size_t>(id) == services_.size());
   services_.push_back(std::move(service));
+  health_.push_back(std::make_unique<ServiceHealthCounters>());
   return Status::OK();
 }
 
@@ -27,10 +28,62 @@ const FeatureService& ResourceRegistry::service(FeatureId id) const {
 FeatureVector ResourceRegistry::GenerateFeatures(const Entity& entity) const {
   FeatureVector row(schema_.size());
   for (size_t i = 0; i < services_.size(); ++i) {
-    FeatureValue v = services_[i]->Apply(entity);
-    if (!v.is_missing()) row.Set(static_cast<FeatureId>(i), std::move(v));
+    const FeatureService& svc = *services_[i];
+    if (!svc.AppliesTo(entity.modality)) continue;
+    ServiceHealthCounters* hc = health_[i].get();
+    hc->Add(hc->requests);
+    Result<FeatureValue> v = svc.Call(entity);
+    if (!v.ok()) {
+      // Degraded mode: the upstream is down past its retry budget. Record a
+      // missing value; LFs over this feature abstain downstream.
+      hc->Add(hc->degraded_misses);
+      continue;
+    }
+    if (v->is_missing()) {
+      hc->Add(hc->abstains_served);
+      continue;
+    }
+    row.Set(static_cast<FeatureId>(i), std::move(*v));
   }
   return row;
+}
+
+Status ResourceRegistry::InstallFaultLayer(const FaultPlan& plan) {
+  if (fault_layer_installed_) {
+    return Status::FailedPrecondition("fault layer already installed");
+  }
+  for (const FaultPlan::Entry& entry : plan.entries) {
+    if (entry.service != "*" && !schema_.Find(entry.service).ok()) {
+      return Status::NotFound("fault plan names unknown service '" +
+                              entry.service + "'");
+    }
+  }
+  for (size_t i = 0; i < services_.size(); ++i) {
+    const FaultPlan::Entry* entry = plan.FindEntry(services_[i]->name());
+    if (entry == nullptr) continue;
+    FeatureServicePtr wrapped = std::make_unique<FaultInjectingService>(
+        std::move(services_[i]), entry->fault, plan.seed, health_[i].get());
+    if (entry->retry.max_attempts > 1) {
+      wrapped = std::make_unique<RetryingService>(
+          std::move(wrapped), entry->retry, plan.seed, health_[i].get());
+    }
+    services_[i] = std::move(wrapped);
+  }
+  fault_layer_installed_ = true;
+  return Status::OK();
+}
+
+std::vector<ServiceHealth> ResourceRegistry::HealthSnapshot() const {
+  std::vector<ServiceHealth> out;
+  out.reserve(services_.size());
+  for (size_t i = 0; i < services_.size(); ++i) {
+    out.push_back(health_[i]->Snapshot(services_[i]->name()));
+  }
+  return out;
+}
+
+void ResourceRegistry::ResetHealth() const {
+  for (const auto& hc : health_) hc->Reset();
 }
 
 Result<ResourceRegistry> BuildModerationRegistry(const CorpusGenerator& gen,

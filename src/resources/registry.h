@@ -9,6 +9,7 @@
 
 #include "features/feature_schema.h"
 #include "features/feature_vector.h"
+#include "resources/fault_injection.h"
 #include "resources/feature_service.h"
 #include "synth/corpus_generator.h"
 #include "util/result.h"
@@ -38,13 +39,37 @@ class ResourceRegistry {
   const FeatureService& service(FeatureId id) const;
 
   /// Applies every applicable service to the entity, producing its row in
-  /// the common feature space (services that do not apply or abstain leave
-  /// missing slots).
+  /// the common feature space. Services that do not apply, abstain, or fail
+  /// past their retry budget leave missing slots — an unavailable upstream
+  /// degrades the row, never aborts it — and the per-service health
+  /// counters record which of those happened.
   FeatureVector GenerateFeatures(const Entity& entity) const;
+
+  /// Wraps every service matched by `plan` as
+  /// Retrying(FaultInjecting(service)), sharing the registry's health
+  /// counters. The wrapped services keep their FeatureDefs, so the schema
+  /// and all FeatureIds are unchanged. Fails on a plan naming an unknown
+  /// service, or if a fault layer is already installed.
+  [[nodiscard]] Status InstallFaultLayer(const FaultPlan& plan);
+
+  /// True once InstallFaultLayer has wrapped the services.
+  bool fault_layer_installed() const { return fault_layer_installed_; }
+
+  /// Health snapshot per service, index-aligned with the schema. Counter
+  /// totals are schedule-independent whenever the installed plan is (see
+  /// FaultPlan::IsScheduleDeterministic).
+  std::vector<ServiceHealth> HealthSnapshot() const;
+
+  /// Zeroes every health counter (e.g. between benchmark arms).
+  void ResetHealth() const;
 
  private:
   std::vector<FeatureServicePtr> services_;
+  /// One counter block per service, index-aligned with services_/schema_.
+  /// unique_ptr keeps the registry movable (atomics are not).
+  std::vector<std::unique_ptr<ServiceHealthCounters>> health_;
   FeatureSchema schema_;
+  bool fault_layer_installed_ = false;
 };
 
 /// Builds the paper's 15-service registry (sets A/B/C/D) plus the three

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace crossmodal {
+
+double NearestRankPercentile(const std::vector<double>& sorted, double q) {
+  CM_CHECK(!sorted.empty());
+  CM_DCHECK_GE(q, 0.0);
+  CM_DCHECK_LE(q, 1.0);
+  const size_t n = sorted.size();
+  // rank = ceil(q * n) in [1, n]; index = rank - 1. The old +0.5 rounding
+  // over (n - 1) read past the intended rank at small counts (e.g. p50 of
+  // two samples returned the larger one).
+  const double raw = std::ceil(q * static_cast<double>(n));
+  const size_t rank = raw < 1.0 ? 1 : static_cast<size_t>(raw);
+  return sorted[std::min(rank, n) - 1];
+}
 
 Result<ModelServer> ModelServer::Create(
     CrossModalModelPtr model, const FeatureSchema* schema,
@@ -111,15 +124,8 @@ LatencyStats ModelServer::latency() const {
   double total = 0.0;
   for (double v : sorted) total += v;
   stats.mean_us = total / static_cast<double>(sorted.size());
-  auto quantile = [&](double q) {
-    const size_t idx = std::min(
-        sorted.size() - 1,
-        static_cast<size_t>(std::floor(q * static_cast<double>(
-                                               sorted.size() - 1) + 0.5)));
-    return sorted[idx];
-  };
-  stats.p50_us = quantile(0.50);
-  stats.p95_us = quantile(0.95);
+  stats.p50_us = NearestRankPercentile(sorted, 0.50);
+  stats.p95_us = NearestRankPercentile(sorted, 0.95);
   stats.max_us = sorted.back();
   return stats;
 }

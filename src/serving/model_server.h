@@ -35,7 +35,8 @@ struct ServingOptions {
   bool strip_nonservable_inputs = true;
 };
 
-/// Request-latency summary in microseconds.
+/// Request-latency summary in microseconds. Percentiles use nearest-rank
+/// semantics (see NearestRankPercentile).
 struct LatencyStats {
   size_t count = 0;
   double mean_us = 0.0;
@@ -43,6 +44,14 @@ struct LatencyStats {
   double p95_us = 0.0;
   double max_us = 0.0;
 };
+
+/// Nearest-rank percentile over an ascending-sorted, non-empty sample:
+/// the smallest element with at least ceil(q * N) observations at or below
+/// it (rank ceil(q*N), clamped to [1, N]). Exact sample values only — no
+/// interpolation — so p50 of {1, 2} is 1 (rank 1) and p100 is always the
+/// max. `q` must be in [0, 1]; q = 0 returns the minimum.
+[[nodiscard]] double NearestRankPercentile(const std::vector<double>& sorted,
+                                           double q);
 
 /// Owns a fitted model and serves scores over feature rows.
 ///

@@ -1,0 +1,53 @@
+#include "util/parse_number.h"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace crossmodal {
+
+Result<int64_t> ParseInt64(const std::string& text) {
+  int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  return v;
+}
+
+Result<uint64_t> ParseUint64(const std::string& text) {
+  uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("not an unsigned integer: '" + text + "'");
+  }
+  return v;
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  // std::stod rather than from_chars: libstdc++ only grew FP from_chars
+  // recently, and stod accepts the same literal set across platforms.
+  try {
+    size_t consumed = 0;
+    const double v = std::stod(text, &consumed);
+    if (consumed != text.size()) {
+      return Status::InvalidArgument("trailing characters in number: '" +
+                                     text + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+}
+
+Result<double> ParseFiniteDouble(const std::string& text) {
+  CM_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite number: '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,33 @@
+// Checked string-to-number parsing shared by the TSV readers and the CLI
+// tools. std::atoi/atof silently map garbage to 0, which turns a typo'd
+// flag (`--task=abc`) into a plausible-looking run; these helpers reject
+// anything that is not a complete, in-range literal.
+
+#ifndef CROSSMODAL_UTIL_PARSE_NUMBER_H_
+#define CROSSMODAL_UTIL_PARSE_NUMBER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Parses a whole-string base-10 signed integer; rejects trailing garbage,
+/// empty input, and out-of-range values.
+[[nodiscard]] Result<int64_t> ParseInt64(const std::string& text);
+
+/// Parses a whole-string base-10 unsigned integer.
+[[nodiscard]] Result<uint64_t> ParseUint64(const std::string& text);
+
+/// Parses a whole-string floating-point literal (accepts inf/nan forms).
+[[nodiscard]] Result<double> ParseDouble(const std::string& text);
+
+/// Like ParseDouble but additionally rejects non-finite values — for fields
+/// that must be real measurements or probabilities (e.g. weak-label
+/// posteriors), where a NaN silently poisons every downstream reduction.
+[[nodiscard]] Result<double> ParseFiniteDouble(const std::string& text);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_UTIL_PARSE_NUMBER_H_

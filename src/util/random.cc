@@ -1,9 +1,10 @@
 #include "util/random.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <numbers>
+
+#include "util/check.h"
 
 namespace crossmodal {
 
@@ -62,7 +63,7 @@ double Rng::Uniform() {
 double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
 uint64_t Rng::UniformInt(uint64_t n) {
-  assert(n > 0);
+  CM_DCHECK_GT(n, 0u);
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
   for (;;) {
@@ -72,7 +73,7 @@ uint64_t Rng::UniformInt(uint64_t n) {
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  CM_DCHECK_LE(lo, hi);
   return lo + static_cast<int64_t>(
                   UniformInt(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -93,12 +94,17 @@ double Rng::Normal(double mean, double stddev) {
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
+  CM_DCHECK(!weights.empty());
+  // Release builds compile the checks out; the contract below keeps the
+  // result well-defined anyway: an empty weight vector draws index 0, and a
+  // non-positive total falls through to the last bucket.
+  if (weights.empty()) return 0;
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    CM_DCHECK_GE(w, 0.0);
     total += w;
   }
-  assert(total > 0.0);
+  CM_DCHECK_GT(total, 0.0);
   double r = Uniform() * total;
   for (size_t i = 0; i < weights.size(); ++i) {
     r -= weights[i];
@@ -124,7 +130,7 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
-  assert(k <= n);
+  CM_DCHECK_LE(k, n);
   // Partial Fisher–Yates over an index vector.
   std::vector<size_t> idx(n);
   for (size_t i = 0; i < n; ++i) idx[i] = i;

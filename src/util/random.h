@@ -66,7 +66,10 @@ class Rng {
   bool Bernoulli(double p);
 
   /// Draws an index in [0, weights.size()) with probability proportional to
-  /// weights[i]. Weights must be non-negative with positive sum.
+  /// weights[i]. Weights must be non-negative with positive sum
+  /// (CM_DCHECK-enforced in debug/sanitizer builds). Release builds keep
+  /// the result defined: empty weights draw 0; a non-positive sum draws the
+  /// last bucket.
   size_t Categorical(const std::vector<double>& weights);
 
   /// Geometric-ish heavy-tailed count: number of successes before failure,

@@ -23,6 +23,8 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kIOError = 8,
+  kUnavailable = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -68,6 +70,14 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// A transient failure: the operation may succeed if retried.
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The operation ran past its deadline (also retryable).
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,429 @@
+// Fault-injection layer tests: FaultPlan parsing, the deterministic fault
+// schedule, retry/backoff accounting, graceful degradation through the
+// registry, and the end-to-end contract that the pipeline completes (LFs
+// abstain, coverage drops, no crash) with services permanently down.
+
+#include "resources/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/determinism.h"
+#include "core/pipeline.h"
+#include "dataflow/feature_generation.h"
+#include "resources/registry.h"
+#include "synth/corpus_generator.h"
+#include "util/check.h"
+
+namespace crossmodal {
+namespace {
+
+/// Minimal deterministic upstream: numeric feature, never abstains.
+class StubService : public FeatureService {
+ public:
+  explicit StubService(std::string name) {
+    def_.name = std::move(name);
+    def_.type = FeatureType::kNumeric;
+  }
+  const FeatureDef& output_def() const override { return def_; }
+  ResourceKind kind() const override {
+    return ResourceKind::kRuleBasedService;
+  }
+  FeatureValue Apply(const Entity& entity) const override {
+    return FeatureValue::Numeric(static_cast<double>(entity.id) * 0.5);
+  }
+
+ private:
+  FeatureDef def_;
+};
+
+Entity MakeEntity(EntityId id) {
+  Entity e;
+  e.id = id;
+  e.modality = Modality::kImage;
+  return e;
+}
+
+// ---- FaultPlan parsing -----------------------------------------------------
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_TRUE(plan->IsScheduleDeterministic());
+}
+
+TEST(FaultPlanTest, ParsesDirectives) {
+  auto plan = FaultPlan::Parse(
+      "seed=42; *:transient=0.1,attempts=4; "
+      "topic_primary:down; kg_entities:timeout=0.3,latency_us=250");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->entries.size(), 3u);
+  EXPECT_EQ(plan->entries[0].service, "*");
+  EXPECT_DOUBLE_EQ(plan->entries[0].fault.transient_rate, 0.1);
+  EXPECT_EQ(plan->entries[0].retry.max_attempts, 4);
+  EXPECT_EQ(plan->entries[1].fault.down_after, 0u);
+  EXPECT_DOUBLE_EQ(plan->entries[2].fault.timeout_rate, 0.3);
+  EXPECT_EQ(plan->entries[2].fault.latency_us, 250u);
+  EXPECT_TRUE(plan->IsScheduleDeterministic());
+}
+
+TEST(FaultPlanTest, LastMatchingEntryWins) {
+  auto plan =
+      FaultPlan::Parse("*:transient=0.1; topic_primary:transient=0.9");
+  ASSERT_TRUE(plan.ok());
+  const FaultPlan::Entry* e = plan->FindEntry("topic_primary");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->fault.transient_rate, 0.9);
+  const FaultPlan::Entry* other = plan->FindEntry("kg_entities");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->fault.transient_rate, 0.1);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("garbage").ok());
+  EXPECT_FALSE(FaultPlan::Parse("svc:transient=abc").ok());
+  EXPECT_FALSE(FaultPlan::Parse("svc:transient=1.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("svc:transient=-0.1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("svc:transient=nan").ok());
+  EXPECT_FALSE(FaultPlan::Parse("svc:bogus_key=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("svc:attempts=0").ok());
+  EXPECT_FALSE(FaultPlan::Parse(":down").ok());
+  EXPECT_FALSE(FaultPlan::Parse("seed=notanumber").ok());
+}
+
+TEST(FaultPlanTest, MidRangeDownAfterIsNotScheduleDeterministic) {
+  auto plan = FaultPlan::Parse("svc:down_after=10");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->IsScheduleDeterministic());
+  // Hard down and rate-based faults are safe under any parallelism.
+  EXPECT_TRUE(FaultPlan::Parse("svc:down")->IsScheduleDeterministic());
+  EXPECT_TRUE(
+      FaultPlan::Parse("svc:transient=0.5")->IsScheduleDeterministic());
+}
+
+// ---- FaultInjectingService -------------------------------------------------
+
+TEST(FaultInjectingServiceTest, FaultScheduleIsAPureFunctionOfSeeds) {
+  auto make = [](uint64_t seed) {
+    ServiceFaultConfig config;
+    config.transient_rate = 0.5;
+    return FaultInjectingService(std::make_unique<StubService>("svc"), config,
+                                 seed);
+  };
+  const FaultInjectingService a = make(123), b = make(123), c = make(456);
+  size_t diverged_from_c = 0;
+  for (EntityId id = 1; id <= 200; ++id) {
+    const Entity e = MakeEntity(id);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const bool ok_a = a.Call(e, attempt).ok();
+      // Same seed, same (entity, attempt) → identical decision, and the
+      // decision is stable on repeated evaluation (no hidden state).
+      EXPECT_EQ(ok_a, b.Call(e, attempt).ok());
+      EXPECT_EQ(ok_a, a.Call(e, attempt).ok());
+      if (ok_a != c.Call(e, attempt).ok()) ++diverged_from_c;
+    }
+  }
+  // A different fault seed is a genuinely different schedule.
+  EXPECT_GT(diverged_from_c, 0u);
+}
+
+TEST(FaultInjectingServiceTest, AttemptsDrawIndependentFaults) {
+  ServiceFaultConfig config;
+  config.transient_rate = 0.5;
+  FaultInjectingService svc(std::make_unique<StubService>("svc"), config,
+                            /*fault_seed=*/99);
+  bool saw_fail_then_ok = false;
+  for (EntityId id = 1; id <= 200 && !saw_fail_then_ok; ++id) {
+    const Entity e = MakeEntity(id);
+    saw_fail_then_ok = !svc.Call(e, 0).ok() && svc.Call(e, 1).ok();
+  }
+  EXPECT_TRUE(saw_fail_then_ok);
+}
+
+TEST(FaultInjectingServiceTest, HardDownFailsEveryCallWithoutRngDraws) {
+  ServiceFaultConfig config;
+  config.down_after = 0;
+  ServiceHealthCounters counters;
+  FaultInjectingService svc(std::make_unique<StubService>("svc"), config,
+                            /*fault_seed=*/1, &counters);
+  for (EntityId id = 1; id <= 5; ++id) {
+    auto v = svc.Call(MakeEntity(id), 0);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(counters.permanent_failures.load(), 5u);
+  EXPECT_EQ(counters.successes.load(), 0u);
+  // Apply() degrades to a missing value instead of propagating the error.
+  EXPECT_TRUE(svc.Apply(MakeEntity(1)).is_missing());
+}
+
+TEST(FaultInjectingServiceTest, MidRangeDownAfterCountsSerialArrivals) {
+  ServiceFaultConfig config;
+  config.down_after = 2;
+  FaultInjectingService svc(std::make_unique<StubService>("svc"), config,
+                            /*fault_seed=*/1);
+  // Serial semantics: the first two requests get through, then the outage.
+  EXPECT_TRUE(svc.Call(MakeEntity(1), 0).ok());
+  EXPECT_TRUE(svc.Call(MakeEntity(2), 0).ok());
+  EXPECT_FALSE(svc.Call(MakeEntity(3), 0).ok());
+  EXPECT_FALSE(svc.Call(MakeEntity(4), 0).ok());
+}
+
+TEST(FaultInjectingServiceTest, SimulatedLatencyAccumulates) {
+  ServiceFaultConfig config;
+  config.latency_us = 150;
+  ServiceHealthCounters counters;
+  FaultInjectingService svc(std::make_unique<StubService>("svc"), config,
+                            /*fault_seed=*/1, &counters);
+  for (EntityId id = 1; id <= 4; ++id) {
+    EXPECT_TRUE(svc.Call(MakeEntity(id), 0).ok());
+  }
+  EXPECT_EQ(counters.simulated_latency_us.load(), 600u);
+}
+
+// ---- RetryingService -------------------------------------------------------
+
+TEST(RetryingServiceTest, RecoversFromTransientFaults) {
+  ServiceFaultConfig config;
+  config.transient_rate = 0.5;
+  ServiceHealthCounters counters;
+  auto faulty = std::make_unique<FaultInjectingService>(
+      std::make_unique<StubService>("svc"), config, /*fault_seed=*/7,
+      &counters);
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  RetryingService svc(std::move(faulty), policy, /*fault_seed=*/7, &counters);
+  size_t successes = 0;
+  for (EntityId id = 1; id <= 100; ++id) {
+    if (svc.Call(MakeEntity(id), 0).ok()) ++successes;
+  }
+  // P(all 6 attempts fail) ~ 1.6%; nearly every request must recover, and
+  // with rate 0.5 some first attempts must have failed.
+  EXPECT_GE(successes, 90u);
+  EXPECT_GT(counters.retries.load(), 0u);
+  EXPECT_GT(counters.backoff_us.load(), 0u);
+}
+
+TEST(RetryingServiceTest, ExhaustedBudgetReturnsLastTransientError) {
+  ServiceFaultConfig config;
+  config.transient_rate = 1.0;
+  ServiceHealthCounters counters;
+  auto faulty = std::make_unique<FaultInjectingService>(
+      std::make_unique<StubService>("svc"), config, /*fault_seed=*/7,
+      &counters);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 1000;
+  policy.max_backoff_us = 4000;
+  RetryingService svc(std::move(faulty), policy, /*fault_seed=*/7, &counters);
+  auto v = svc.Call(MakeEntity(1), 0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(counters.attempts.load(), 3u);
+  EXPECT_EQ(counters.retries.load(), 2u);
+  // Each backoff is jittered into [capped/2, capped]; two retries of at
+  // most max_backoff_us each.
+  EXPECT_GE(counters.backoff_us.load(), (1000u / 2) + (2000u / 2));
+  EXPECT_LE(counters.backoff_us.load(), 1000u + 2000u);
+  EXPECT_TRUE(svc.Apply(MakeEntity(1)).is_missing());
+}
+
+TEST(RetryingServiceTest, PermanentOutageIsNotRetried) {
+  ServiceFaultConfig config;
+  config.down_after = 0;
+  ServiceHealthCounters counters;
+  auto faulty = std::make_unique<FaultInjectingService>(
+      std::make_unique<StubService>("svc"), config, /*fault_seed=*/7,
+      &counters);
+  RetryingService svc(std::move(faulty), RetryPolicy{}, /*fault_seed=*/7,
+                      &counters);
+  auto v = svc.Call(MakeEntity(1), 0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(counters.attempts.load(), 1u);
+  EXPECT_EQ(counters.retries.load(), 0u);
+}
+
+TEST(RetryingServiceTest, BackoffTotalsAreDeterministic) {
+  auto run = [] {
+    ServiceFaultConfig config;
+    config.transient_rate = 1.0;
+    auto counters = std::make_unique<ServiceHealthCounters>();
+    auto faulty = std::make_unique<FaultInjectingService>(
+        std::make_unique<StubService>("svc"), config, /*fault_seed=*/11,
+        counters.get());
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    RetryingService svc(std::move(faulty), policy, /*fault_seed=*/11,
+                        counters.get());
+    for (EntityId id = 1; id <= 50; ++id) {
+      (void)svc.Call(MakeEntity(id), 0).ok();
+    }
+    return counters->Snapshot("svc");
+  };
+  const ServiceHealth a = run(), b = run();
+  EXPECT_EQ(a.backoff_us, b.backoff_us);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_GT(a.backoff_us, 0u);
+}
+
+// ---- Registry integration --------------------------------------------------
+
+class FaultyRegistryTest : public ::testing::Test {
+ protected:
+  FaultyRegistryTest()
+      : generator_(world_, TaskSpec::CT(1).Scaled(0.05)),
+        corpus_(generator_.Generate()) {}
+
+  ResourceRegistry MakeRegistry() {
+    auto registry = BuildModerationRegistry(generator_, /*seed=*/7);
+    CM_CHECK(registry.ok());
+    return std::move(registry).value();
+  }
+
+  WorldConfig world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+};
+
+TEST_F(FaultyRegistryTest, InstallRejectsUnknownServiceAndDoubleInstall) {
+  ResourceRegistry registry = MakeRegistry();
+  auto bad = FaultPlan::Parse("no_such_service:down");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(registry.InstallFaultLayer(*bad).code(), StatusCode::kNotFound);
+
+  auto plan = FaultPlan::Parse("topic_primary:down");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(registry.InstallFaultLayer(*plan).ok());
+  EXPECT_TRUE(registry.fault_layer_installed());
+  EXPECT_EQ(registry.InstallFaultLayer(*plan).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultyRegistryTest, WrappingPreservesSchemaAndDegradesDownedSlots) {
+  ResourceRegistry registry = MakeRegistry();
+  const size_t n_before = registry.schema().size();
+  auto plan = FaultPlan::Parse("topic_primary:down");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(registry.InstallFaultLayer(*plan).ok());
+  EXPECT_EQ(registry.schema().size(), n_before);
+
+  auto downed = registry.schema().Find("topic_primary");
+  ASSERT_TRUE(downed.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const FeatureVector row =
+        registry.GenerateFeatures(corpus_.image_unlabeled[i]);
+    EXPECT_TRUE(row.Get(*downed).is_missing());
+  }
+  const std::vector<ServiceHealth> health = registry.HealthSnapshot();
+  ASSERT_EQ(health.size(), registry.size());
+  const ServiceHealth& h = health[static_cast<size_t>(*downed)];
+  EXPECT_EQ(h.service, "topic_primary");
+  EXPECT_TRUE(h.degraded());
+  EXPECT_EQ(h.degraded_misses, 20u);
+  // Healthy neighbors stay healthy.
+  size_t degraded_services = 0;
+  for (const ServiceHealth& s : health) degraded_services += s.degraded();
+  EXPECT_EQ(degraded_services, 1u);
+}
+
+TEST_F(FaultyRegistryTest, FaultyFeatureRowsAreScheduleIndependent) {
+  // Parallel dataflow generation vs a serial loop, and two independent
+  // registries with the same plan: all three produce bit-identical rows.
+  auto plan =
+      FaultPlan::Parse("seed=77; *:transient=0.2,attempts=2; sentiment:down");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->IsScheduleDeterministic());
+
+  std::vector<Entity> entities(corpus_.image_unlabeled.begin(),
+                               corpus_.image_unlabeled.begin() + 200);
+  std::vector<EntityId> order;
+  for (const Entity& e : entities) order.push_back(e.id);
+
+  auto hash_parallel = [&](ResourceRegistry& registry) {
+    FeatureStore store(&registry.schema());
+    GenerateFeatures(entities, registry, &store);
+    return DeterminismHarness::HashFeatureRows(store, order);
+  };
+
+  ResourceRegistry r1 = MakeRegistry(), r2 = MakeRegistry(),
+                   r3 = MakeRegistry();
+  ASSERT_TRUE(r1.InstallFaultLayer(*plan).ok());
+  ASSERT_TRUE(r2.InstallFaultLayer(*plan).ok());
+  ASSERT_TRUE(r3.InstallFaultLayer(*plan).ok());
+
+  const uint64_t parallel_a = hash_parallel(r1);
+  const uint64_t parallel_b = hash_parallel(r2);
+  EXPECT_EQ(parallel_a, parallel_b);
+
+  FeatureStore serial_store(&r3.schema());
+  for (const Entity& e : entities) {
+    serial_store.Put(e.id, r3.GenerateFeatures(e));
+  }
+  EXPECT_EQ(parallel_a,
+            DeterminismHarness::HashFeatureRows(serial_store, order));
+
+  // Health totals are sums of per-entity contributions → identical too.
+  const auto ha = r1.HealthSnapshot(), hb = r2.HealthSnapshot(),
+             hc = r3.HealthSnapshot();
+  for (size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].transient_failures, hb[i].transient_failures) << i;
+    EXPECT_EQ(ha[i].transient_failures, hc[i].transient_failures) << i;
+    EXPECT_EQ(ha[i].degraded_misses, hc[i].degraded_misses) << i;
+    EXPECT_EQ(ha[i].retries, hc[i].retries) << i;
+  }
+}
+
+// ---- End-to-end degradation ------------------------------------------------
+
+TEST_F(FaultyRegistryTest, PipelineCompletesWithServicesPermanentlyDown) {
+  PipelineConfig config;
+  config.seed = 0x5EED;
+  config.model.hidden = {8};
+  config.model.train.epochs = 3;
+  config.curation.dev_sample = 600;
+  config.curation.graph_seed_sample = 300;
+  config.curation.graph_tune_sample = 120;
+
+  auto run = [&](const std::string& plan_spec) {
+    ResourceRegistry registry = MakeRegistry();
+    if (!plan_spec.empty()) {
+      auto plan = FaultPlan::Parse(plan_spec);
+      CM_CHECK(plan.ok());
+      CM_CHECK_OK(registry.InstallFaultLayer(*plan));
+    }
+    CrossModalPipeline pipeline(&registry, &corpus_, config);
+    auto result = pipeline.Run();
+    CM_CHECK(result.ok()) << result.status();
+    return std::move(*result);
+  };
+
+  const PipelineResult healthy = run("");
+  EXPECT_EQ(healthy.report.services_degraded, 0u);
+  EXPECT_EQ(healthy.report.feature_degraded_fraction, 0.0);
+  EXPECT_EQ(healthy.report.service_health.size(), 18u);
+  EXPECT_GT(healthy.report.rows_generated, 0u);
+
+  // Three model-based services hard down: the pipeline must degrade —
+  // missing slots, abstaining LFs, lower coverage — and still train.
+  const PipelineResult degraded =
+      run("topic_primary:down; content_category:down; keyword_topics:down");
+  ASSERT_NE(degraded.model, nullptr);
+  EXPECT_FALSE(degraded.curation.weak_labels.empty());
+  EXPECT_EQ(degraded.report.services_degraded, 3u);
+  EXPECT_GT(degraded.report.feature_degraded_fraction, 0.0);
+  EXPECT_GT(degraded.report.feature_missing_fraction,
+            healthy.report.feature_missing_fraction);
+  // Coverage of the *mined* LF set is not comparable across arms (mining
+  // picks a different set when features are missing); the contract is only
+  // that curation still covers a usable fraction of the corpus.
+  EXPECT_GT(degraded.report.lf_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace crossmodal

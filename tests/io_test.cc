@@ -171,6 +171,80 @@ TEST_F(IoRoundTripTest, WeakLabelsRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ---- Malformed-input coverage for the TSV readers --------------------------
+
+/// Writes `lines` to a temp file, runs `read` on it, and expects failure.
+template <typename ReadFn>
+void ExpectReadFails(const std::string& name,
+                     const std::vector<std::string>& lines, ReadFn read) {
+  const std::string path = TempPath(name);
+  ASSERT_TRUE(WriteLines(path, lines).ok());
+  EXPECT_FALSE(read(path).ok()) << name;
+  std::remove(path.c_str());
+}
+
+TEST(WeakLabelsValidationTest, HeaderOnlyFileYieldsNoLabels) {
+  const std::string path = TempPath("labels_header_only.tsv");
+  ASSERT_TRUE(WriteLines(path, {"entity\tp_positive\tcovered"}).ok());
+  auto loaded = ReadWeakLabelsTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(WeakLabelsValidationTest, RejectsBadHeader) {
+  // Line 0 used to be skipped blind; a reordered or truncated header must
+  // fail instead of silently misassigning columns.
+  ExpectReadFails("labels_bad_header.tsv",
+                  {"p_positive\tentity\tcovered", "1\t0.5\t1"},
+                  ReadWeakLabelsTsv);
+  ExpectReadFails("labels_no_header.tsv", {"1\t0.5\t1"}, ReadWeakLabelsTsv);
+}
+
+TEST(WeakLabelsValidationTest, RejectsWrongColumnCounts) {
+  ExpectReadFails("labels_short_row.tsv",
+                  {"entity\tp_positive\tcovered", "1\t0.5"},
+                  ReadWeakLabelsTsv);
+  ExpectReadFails("labels_long_row.tsv",
+                  {"entity\tp_positive\tcovered", "1\t0.5\t1\textra"},
+                  ReadWeakLabelsTsv);
+}
+
+TEST(WeakLabelsValidationTest, RejectsNonFiniteAndMalformedNumbers) {
+  for (const char* bad : {"nan", "inf", "-inf", "0.5x", ""}) {
+    ExpectReadFails(std::string("labels_bad_p_") + bad + ".tsv",
+                    {"entity\tp_positive\tcovered",
+                     std::string("1\t") + bad + "\t1"},
+                    ReadWeakLabelsTsv);
+  }
+  ExpectReadFails("labels_bad_entity.tsv",
+                  {"entity\tp_positive\tcovered", "1x\t0.5\t1"},
+                  ReadWeakLabelsTsv);
+}
+
+TEST(SchemaValidationTest, RejectsBadHeaderAndColumnCounts) {
+  ExpectReadFails("schema_bad_header.tsv",
+                  {"name\ttype", "f0\t0\t0\t4\t7\t1"}, ReadSchemaTsv);
+  ExpectReadFails("schema_short_row.tsv",
+                  {"name\ttype\tset\tcardinality\tmodalities\tservable",
+                   "f0\t0\t0"},
+                  ReadSchemaTsv);
+  ExpectReadFails("schema_bad_int.tsv",
+                  {"name\ttype\tset\tcardinality\tmodalities\tservable",
+                   "f0\t0\t0\tfour\t7\t1"},
+                  ReadSchemaTsv);
+}
+
+TEST(SchemaValidationTest, HeaderOnlyFileYieldsEmptySchema) {
+  const std::string path = TempPath("schema_header_only.tsv");
+  ASSERT_TRUE(WriteLines(
+      path, {"name\ttype\tset\tcardinality\tmodalities\tservable"}).ok());
+  auto schema = ReadSchemaTsv(path);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->empty());
+  std::remove(path.c_str());
+}
+
 TEST_F(IoRoundTripTest, PrCurveCsvWrites) {
   std::vector<PrPoint> curve(3);
   curve[0] = {0.1, 1.0, 0.9};

@@ -161,5 +161,39 @@ TEST(LatencyStatsTest, EmptyServerReportsZeroes) {
   EXPECT_EQ(stats.mean_us, 0.0);
 }
 
+// ---- NearestRankPercentile -------------------------------------------------
+// Nearest-rank semantics: rank ceil(q*N), clamped to [1, N]; no
+// interpolation. The old +0.5 rounding returned the *larger* of two samples
+// for p50 — these cases pin the contract at small counts.
+
+TEST(NearestRankPercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one{42.0};
+  EXPECT_EQ(NearestRankPercentile(one, 0.0), 42.0);
+  EXPECT_EQ(NearestRankPercentile(one, 0.50), 42.0);
+  EXPECT_EQ(NearestRankPercentile(one, 0.95), 42.0);
+  EXPECT_EQ(NearestRankPercentile(one, 1.0), 42.0);
+}
+
+TEST(NearestRankPercentileTest, TwoSamples) {
+  const std::vector<double> two{1.0, 2.0};
+  // ceil(0.5 * 2) = rank 1 → the smaller sample (the off-by-one the ad-hoc
+  // interpolation got wrong).
+  EXPECT_EQ(NearestRankPercentile(two, 0.50), 1.0);
+  EXPECT_EQ(NearestRankPercentile(two, 0.51), 2.0);
+  EXPECT_EQ(NearestRankPercentile(two, 0.95), 2.0);
+  EXPECT_EQ(NearestRankPercentile(two, 0.0), 1.0);
+}
+
+TEST(NearestRankPercentileTest, TwentySamples) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 20; ++i) sorted.push_back(static_cast<double>(i));
+  // ceil(0.5 * 20) = rank 10, ceil(0.95 * 20) = rank 19.
+  EXPECT_EQ(NearestRankPercentile(sorted, 0.50), 10.0);
+  EXPECT_EQ(NearestRankPercentile(sorted, 0.95), 19.0);
+  EXPECT_EQ(NearestRankPercentile(sorted, 1.0), 20.0);
+  // q just over a rank boundary moves up one rank, never interpolates.
+  EXPECT_EQ(NearestRankPercentile(sorted, 0.951), 20.0);
+}
+
 }  // namespace
 }  // namespace crossmodal

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "util/logging.h"
+#include "util/parse_number.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -189,6 +190,21 @@ TEST(RngTest, CategoricalFollowsWeights) {
   EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
 }
 
+TEST(RngTest, CategoricalContractOnDegenerateWeights) {
+  // Invalid weights are a CM_DCHECK violation; release builds (NDEBUG) keep
+  // the result defined instead: empty draws 0, a zero-sum total falls
+  // through to the last bucket.
+#ifndef NDEBUG
+  EXPECT_DEATH(Rng(17).Categorical({}), "");
+  EXPECT_DEATH(Rng(17).Categorical({0.0, 0.0}), "");
+  EXPECT_DEATH(Rng(17).Categorical({1.0, -0.5}), "");
+#else
+  Rng rng(17);
+  EXPECT_EQ(rng.Categorical({}), 0u);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0, 0.0}), 2u);
+#endif
+}
+
 TEST(RngTest, PermutationIsPermutation) {
   Rng rng(19);
   const auto p = rng.Permutation(100);
@@ -292,6 +308,35 @@ TEST(TablePrinterTest, PadsShortRows) {
 TEST(TablePrinterTest, NumAndFactorFormat) {
   EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
   EXPECT_EQ(TablePrinter::Factor(1.5), "1.50x");
+}
+
+// ---------- Checked number parsing ------------------------------------------
+
+TEST(ParseNumberTest, ParsesCompleteLiterals) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5e-3"), 2.5e-3);
+  EXPECT_DOUBLE_EQ(*ParseFiniteDouble("0.75"), 0.75);
+}
+
+TEST(ParseNumberTest, RejectsGarbageAtoiWouldAccept) {
+  // std::atoi("7abc") returns 7 and atoi("abc") returns 0; the checked
+  // parsers refuse both, and reject empties and overflow.
+  EXPECT_FALSE(ParseInt64("7abc").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(ParseNumberTest, FiniteVariantRejectsNanAndInf) {
+  EXPECT_TRUE(ParseDouble("inf").ok());
+  EXPECT_TRUE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseFiniteDouble("inf").ok());
+  EXPECT_FALSE(ParseFiniteDouble("-inf").ok());
+  EXPECT_FALSE(ParseFiniteDouble("nan").ok());
 }
 
 // ---------- Timer -----------------------------------------------------------

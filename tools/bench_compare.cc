@@ -2,7 +2,8 @@
 //
 //   bench_compare --validate FILE
 //       Parses FILE and checks the BenchReporter schema (name, git_sha,
-//       stages[] with stage/wall_ms/threads/entities/seed). Exit 0 iff valid.
+//       stages[] with stage/wall_ms/threads/entities/seed, plus an optional
+//       numeric "metric" per stage). Exit 0 iff valid.
 //
 //   bench_compare [--threshold F] BASE NEW
 //       Matches stages between the two files by (stage, threads, entities)
@@ -313,6 +314,15 @@ bool LoadBenchFile(const std::string& path, BenchFile* out,
     const JsonValue* seed = require("seed", JsonValue::Kind::kNumber);
     if (stage == nullptr || wall == nullptr || threads == nullptr ||
         entities == nullptr || seed == nullptr) {
+      return false;
+    }
+    // "metric" is an optional quality value (e.g. AUPRC in the availability
+    // sweep); comparisons track wall_ms only, but when present it must at
+    // least be a number.
+    const JsonValue* metric = entry.Find("metric");
+    if (metric != nullptr && metric->kind != JsonValue::Kind::kNumber) {
+      *error = path + ": stages[" + std::to_string(i) +
+               "] key \"metric\" is not a number";
       return false;
     }
     BenchStage s;

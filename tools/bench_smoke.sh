@@ -3,15 +3,20 @@
 # iteration each, then validates the emitted BENCH_micro_substrates.json
 # against the BenchReporter schema with bench_compare --validate — proving
 # the JSON pipeline (emit -> parse -> gate) works end to end without paying
-# for a full benchmark run. Registered as the `bench_smoke` ctest test:
+# for a full benchmark run. When an availability-sweep binary is passed as
+# the 4th argument, also runs a two-point fault-injection sweep at tiny
+# scale and validates its metric-carrying JSON. Registered as the
+# `bench_smoke` ctest test:
 #
 #   tools/bench_smoke.sh <bench_micro_substrates-binary> \
-#       <bench_compare-binary> <output-dir>
+#       <bench_compare-binary> <output-dir> [<bench_availability-binary>]
 set -euo pipefail
 
-BENCH_BIN=${1:?usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir>}
-COMPARE_BIN=${2:?usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir>}
-OUT_DIR=${3:?usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir>}
+USAGE="usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir> [<avail-binary>]"
+BENCH_BIN=${1:?${USAGE}}
+COMPARE_BIN=${2:?${USAGE}}
+OUT_DIR=${3:?${USAGE}}
+AVAIL_BIN=${4:-}
 
 JSON="${OUT_DIR}/BENCH_micro_substrates.json"
 rm -f "${JSON}"
@@ -30,5 +35,19 @@ echo "== bench_compare --validate =="
 # The self-compare must pass trivially (every ratio is 1.00x).
 echo "== bench_compare self-diff =="
 "${COMPARE_BIN}" "${JSON}" "${JSON}"
+
+if [[ -n "${AVAIL_BIN}" ]]; then
+  # Two-point availability sweep at tiny scale: exercises the fault
+  # injection + retry + degraded-mode path end to end and proves the
+  # optional per-stage "metric" field round-trips through the validator.
+  AVAIL_JSON="${OUT_DIR}/BENCH_availability_sweep.json"
+  rm -f "${AVAIL_JSON}"
+  echo "== availability sweep (scale 0.05, rates 0 and 0.3) =="
+  CM_BENCH_JSON_DIR="${OUT_DIR}" CM_BENCH_SCALE=0.05 \
+    CM_BENCH_AVAIL_RATES="0,0.3" "${AVAIL_BIN}" --availability-only
+  echo "== bench_compare --validate (availability sweep) =="
+  "${COMPARE_BIN}" --validate "${AVAIL_JSON}"
+  "${COMPARE_BIN}" "${AVAIL_JSON}" "${AVAIL_JSON}"
+fi
 
 echo "bench_smoke: OK"

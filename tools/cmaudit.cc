@@ -6,7 +6,11 @@
 // across the two runs, so it doubles as a ctest regression gate.
 //
 //   cmaudit [--task N] [--scale F] [--seed S] [--registry-seed S]
-//           [--threads N]
+//           [--threads N] [--fault-plan SPEC]
+//
+// --fault-plan installs a deterministic fault-injection layer before the
+// audit (grammar in resources/fault_injection.h), proving the artifacts
+// stay bit-identical even with outages, retries, and degraded rows in play.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +18,7 @@
 #include <string>
 
 #include "core/determinism.h"
+#include "util/parse_number.h"
 
 using namespace crossmodal;
 
@@ -22,23 +27,63 @@ namespace {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cmaudit [--task N] [--scale F] [--seed S] "
-               "[--registry-seed S] [--threads N]\n");
+               "[--registry-seed S] [--threads N] [--fault-plan SPEC]\n");
+}
+
+/// Parses `value` with the checked helper `parse`, or fails with a usage
+/// error naming the flag (no atoi: malformed values must not silently
+/// become 0).
+template <typename T, typename ParseFn>
+bool ParseFlagValue(const std::string& flag, const std::string& value,
+                    ParseFn parse, T* out) {
+  auto parsed = parse(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "cmaudit: bad value for %s: %s\n", flag.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = static_cast<T>(*parsed);
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, DeterminismOptions* options) {
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; i += 2) {
     const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "cmaudit: flag %s is missing its value\n",
+                   flag.c_str());
+      return false;
+    }
     const std::string value = argv[i + 1];
     if (flag == "--task") {
-      options->task = std::atoi(value.c_str());
+      if (!ParseFlagValue(flag, value, ParseInt64, &options->task)) {
+        return false;
+      }
     } else if (flag == "--scale") {
-      options->scale = std::atof(value.c_str());
+      if (!ParseFlagValue(flag, value, ParseFiniteDouble, &options->scale)) {
+        return false;
+      }
     } else if (flag == "--seed") {
-      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseFlagValue(flag, value, ParseUint64, &options->seed)) {
+        return false;
+      }
     } else if (flag == "--registry-seed") {
-      options->registry_seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseFlagValue(flag, value, ParseUint64,
+                          &options->registry_seed)) {
+        return false;
+      }
     } else if (flag == "--threads") {
-      options->num_threads = static_cast<size_t>(std::atoi(value.c_str()));
+      if (!ParseFlagValue(flag, value, ParseUint64, &options->num_threads)) {
+        return false;
+      }
+    } else if (flag == "--fault-plan") {
+      auto plan = FaultPlan::Parse(value);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "cmaudit: bad --fault-plan: %s\n",
+                     plan.status().ToString().c_str());
+        return false;
+      }
+      options->fault_plan = std::move(*plan);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -62,6 +107,12 @@ int main(int argc, char** argv) {
               options.task, options.scale,
               static_cast<unsigned long long>(options.seed),
               options.num_threads);
+  if (!options.fault_plan.empty()) {
+    std::printf("cmaudit: fault plan active (%zu directive%s, seed %llu)\n",
+                options.fault_plan.entries.size(),
+                options.fault_plan.entries.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(options.fault_plan.seed));
+  }
 
   DeterminismHarness harness(options);
   auto report = harness.RunAudit();

@@ -22,9 +22,11 @@
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "io/artifacts.h"
+#include "resources/fault_injection.h"
 #include "resources/validation.h"
 #include "synth/corpus_generator.h"
 #include "util/logging.h"
+#include "util/parse_number.h"
 #include "util/table_printer.h"
 
 using namespace crossmodal;
@@ -37,28 +39,60 @@ struct Args {
   double scale = 0.25;
   uint64_t seed = 0;  // 0 = task preset default
   std::string out;
+  FaultPlan fault_plan;  ///< Empty = healthy services.
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cmctl <generate|curate|run|audit> --task N "
-               "[--scale F] [--seed S] [--out DIR]\n");
+               "[--scale F] [--seed S] [--out DIR] [--fault-plan SPEC]\n");
+}
+
+/// Parses `value` with the checked helper `parse`, or fails with a usage
+/// error naming the flag (no atoi: malformed values must not silently
+/// become 0).
+template <typename T, typename ParseFn>
+bool ParseFlagValue(const std::string& flag, const std::string& value,
+                    ParseFn parse, T* out) {
+  auto parsed = parse(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "cmctl: bad value for %s: %s\n", flag.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = static_cast<T>(*parsed);
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
   args->command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; i += 2) {
     const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "cmctl: flag %s is missing its value\n",
+                   flag.c_str());
+      return false;
+    }
     const std::string value = argv[i + 1];
     if (flag == "--task") {
-      args->task = std::atoi(value.c_str());
+      if (!ParseFlagValue(flag, value, ParseInt64, &args->task)) return false;
     } else if (flag == "--scale") {
-      args->scale = std::atof(value.c_str());
+      if (!ParseFlagValue(flag, value, ParseFiniteDouble, &args->scale)) {
+        return false;
+      }
     } else if (flag == "--seed") {
-      args->seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->seed)) return false;
     } else if (flag == "--out") {
       args->out = value;
+    } else if (flag == "--fault-plan") {
+      auto plan = FaultPlan::Parse(value);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "cmctl: bad --fault-plan: %s\n",
+                     plan.status().ToString().c_str());
+        return false;
+      }
+      args->fault_plan = std::move(*plan);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -86,7 +120,46 @@ World MakeWorld(const Args& args) {
   CM_CHECK(registry.ok()) << registry.status();
   world.registry =
       std::make_unique<ResourceRegistry>(std::move(registry).value());
+  if (!args.fault_plan.empty()) {
+    CM_CHECK_OK(world.registry->InstallFaultLayer(args.fault_plan));
+    std::printf("fault plan active (%zu directive%s, seed %llu)\n",
+                args.fault_plan.entries.size(),
+                args.fault_plan.entries.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(args.fault_plan.seed));
+  }
   return world;
+}
+
+/// Prints the per-service degradation table when the fault layer injected
+/// anything (healthy runs stay quiet — natural abstains are not outages).
+void PrintDegradation(const PipelineReport& report) {
+  uint64_t injected = 0;
+  for (const ServiceHealth& h : report.service_health) {
+    injected += h.transient_failures + h.timeouts + h.permanent_failures;
+  }
+  if (injected == 0 && report.services_degraded == 0) return;
+  std::printf("degradation: %zu/%zu services degraded, %.1f%% slots missing "
+              "(%.1f%% to outages), LF coverage %.2f\n",
+              report.services_degraded, report.service_health.size(),
+              100.0 * report.feature_missing_fraction,
+              100.0 * report.feature_degraded_fraction, report.lf_coverage);
+  TablePrinter table({"Service", "Requests", "Retries", "Transient",
+                      "Timeouts", "Permanent", "Degraded", "Abstains"});
+  for (const ServiceHealth& h : report.service_health) {
+    if (h.transient_failures + h.timeouts + h.permanent_failures + h.retries +
+            h.degraded_misses ==
+        0) {
+      continue;
+    }
+    table.AddRow({h.service, std::to_string(h.requests),
+                  std::to_string(h.retries),
+                  std::to_string(h.transient_failures),
+                  std::to_string(h.timeouts),
+                  std::to_string(h.permanent_failures),
+                  std::to_string(h.degraded_misses),
+                  std::to_string(h.abstains_served)});
+  }
+  table.Print(std::cout);
 }
 
 PipelineConfig MakeConfig(const World& world) {
@@ -148,6 +221,7 @@ int CmdRun(const Args& args) {
               result->report.feature_gen_seconds,
               result->report.curation_seconds,
               result->report.training_seconds);
+  PrintDegradation(result->report);
   if (!args.out.empty()) {
     std::filesystem::create_directories(args.out);
     std::vector<int> labels;
