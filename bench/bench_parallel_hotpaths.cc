@@ -10,7 +10,7 @@
 // binary, and tools/bench_compare.cc diffs any two such files.
 
 #include "bench_common.h"
-#include "core/determinism.h"
+#include "audit/determinism.h"
 #include "dataflow/feature_generation.h"
 #include "graph/knn_graph.h"
 #include "graph/label_propagation.h"

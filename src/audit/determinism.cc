@@ -1,4 +1,4 @@
-#include "core/determinism.h"
+#include "audit/determinism.h"
 
 #include <algorithm>
 #include <cstdio>

@@ -19,8 +19,8 @@
 //
 // tools/cmaudit.cc wraps this as a CLI + ctest entry.
 
-#ifndef CROSSMODAL_CORE_DETERMINISM_H_
-#define CROSSMODAL_CORE_DETERMINISM_H_
+#ifndef CROSSMODAL_AUDIT_DETERMINISM_H_
+#define CROSSMODAL_AUDIT_DETERMINISM_H_
 
 #include <cstdint>
 #include <ostream>
@@ -111,4 +111,4 @@ class DeterminismHarness {
 
 }  // namespace crossmodal
 
-#endif  // CROSSMODAL_CORE_DETERMINISM_H_
+#endif  // CROSSMODAL_AUDIT_DETERMINISM_H_

@@ -1,0 +1,99 @@
+#include "dataflow/distributed_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dataflow/mapreduce.h"
+
+namespace crossmodal {
+
+Result<PropagationResult> PropagateLabelsDistributed(
+    const SimilarityGraph& graph,
+    const std::unordered_map<EntityId, double>& seeds,
+    const PropagationOptions& options, size_t num_workers) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+
+  std::vector<double> score(n, options.prior);
+  std::vector<char> clamped(n, 0);
+  size_t num_seeds = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto it = seeds.find(graph.nodes[i]);
+    if (it != seeds.end()) {
+      score[i] = it->second;
+      clamped[i] = 1;
+      ++num_seeds;
+    }
+  }
+  if (num_seeds == 0) {
+    return Status::FailedPrecondition("no seed label matches a graph node");
+  }
+
+  MapReduceExecutor executor(num_workers);
+  std::vector<uint32_t> node_index(n);
+  for (size_t i = 0; i < n; ++i) node_index[i] = static_cast<uint32_t>(i);
+
+  PropagationResult result;
+  // Each iteration: a map over nodes emitting (neighbor, weight, w*score)
+  // along every edge, then a reduce computing the weighted average.
+  using Message = std::pair<double, double>;  // (weight, weight * score)
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::function<void(const uint32_t&, Emitter<uint32_t, Message>*)> map_fn =
+        [&](const uint32_t& i, Emitter<uint32_t, Message>* emitter) {
+          for (const auto& [j, w] : graph.adjacency[i]) {
+            if (clamped[j]) continue;  // no need to ship to clamped nodes
+            emitter->Emit(j, Message{w, static_cast<double>(w) * score[i]});
+          }
+        };
+    std::function<void(const uint32_t&, const std::vector<Message>&,
+                       std::vector<std::pair<uint32_t, double>>*)>
+        reduce_fn = [&](const uint32_t& j, const std::vector<Message>& in,
+                        std::vector<std::pair<uint32_t, double>>* out) {
+          double total = 0.0, weighted = 0.0;
+          for (const auto& [w, ws] : in) {
+            total += w;
+            weighted += ws;
+          }
+          const double neighborhood =
+              total > 0.0 ? weighted / total : options.prior;
+          out->emplace_back(j, options.alpha * neighborhood +
+                                   (1.0 - options.alpha) * options.prior);
+        };
+    const auto updates = executor.Run(node_index, map_fn, reduce_fn);
+
+    std::vector<double> next = score;
+    // Unreached unclamped nodes decay toward the prior, matching the
+    // sequential solver's treatment of isolated nodes.
+    for (size_t i = 0; i < n; ++i) {
+      if (!clamped[i] && graph.adjacency[i].empty()) {
+        next[i] = options.alpha * options.prior +
+                  (1.0 - options.alpha) * options.prior;
+      }
+    }
+    for (const auto& [j, value] : updates) next[j] = value;
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!clamped[i]) {
+        max_delta = std::max(max_delta, std::abs(next[i] - score[i]));
+      }
+    }
+    score.swap(next);
+    result.final_delta = max_delta;
+    if (max_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.scores.emplace(graph.nodes[i], score[i]);
+  }
+  return result;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,33 @@
+// Distributed label propagation: the graph/label_propagation.h solver
+// re-expressed as iterated MapReduce jobs (map: every edge ships weight x
+// source score to its destination; reduce: weighted average per node) — the
+// execution shape of Expander's streaming label propagation [48, 49].
+//
+// Lives in dataflow/ (not graph/) because it is a MapReduce program *about*
+// the similarity graph: dataflow sits above graph in the layering and may
+// depend on it, never the reverse.
+
+#ifndef CROSSMODAL_DATAFLOW_DISTRIBUTED_PROPAGATION_H_
+#define CROSSMODAL_DATAFLOW_DISTRIBUTED_PROPAGATION_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "graph/knn_graph.h"
+#include "graph/label_propagation.h"
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// Distributed variant of PropagateLabels: each propagation iteration runs
+/// as a MapReduce job over the similarity graph. Numerically equivalent to
+/// PropagateLabels up to floating-point summation order.
+[[nodiscard]] Result<PropagationResult> PropagateLabelsDistributed(
+    const SimilarityGraph& graph,
+    const std::unordered_map<EntityId, double>& seeds,
+    const PropagationOptions& options = PropagationOptions(),
+    size_t num_workers = 4);
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_DATAFLOW_DISTRIBUTED_PROPAGATION_H_

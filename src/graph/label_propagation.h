@@ -52,16 +52,8 @@ struct PropagationResult {
     const std::unordered_map<EntityId, double>& seeds,
     const PropagationOptions& options = PropagationOptions());
 
-/// Distributed variant: each propagation iteration runs as a MapReduce job
-/// (map: every edge ships weight x source score to its destination;
-/// reduce: weighted average per node) — the execution shape of Expander's
-/// streaming label propagation [48, 49]. Numerically equivalent to
-/// PropagateLabels up to floating-point summation order.
-[[nodiscard]] Result<PropagationResult> PropagateLabelsDistributed(
-    const SimilarityGraph& graph,
-    const std::unordered_map<EntityId, double>& seeds,
-    const PropagationOptions& options = PropagationOptions(),
-    size_t num_workers = 4);
+// The distributed (MapReduce) variant lives one layer up, in
+// dataflow/distributed_propagation.h, so graph/ never depends on dataflow/.
 
 /// Tuned LF thresholds from held-out labeled scores.
 struct ScoreThresholds {

@@ -1,6 +1,6 @@
 // FNV-1a content hashing for determinism auditing.
 //
-// The determinism harness (core/determinism.h) compares pipeline-stage
+// The determinism harness (audit/determinism.h) compares pipeline-stage
 // artifacts across two runs by 64-bit content hash. FNV-1a is used because
 // it is trivially portable (no endianness or alignment assumptions in this
 // byte-at-a-time form) and fully deterministic across platforms — unlike

@@ -3,7 +3,7 @@
 // one seed yields bit-identical artifacts (the DeterminismHarness contract;
 // cmaudit is the CLI face of the same check).
 
-#include "core/determinism.h"
+#include "audit/determinism.h"
 
 #include <gtest/gtest.h>
 

@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/determinism.h"
+#include "audit/determinism.h"
 #include "core/pipeline.h"
 #include "dataflow/feature_generation.h"
 #include "resources/registry.h"

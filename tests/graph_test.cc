@@ -5,6 +5,7 @@
 #include "util/logging.h"
 
 #include "graph/knn_graph.h"
+#include "dataflow/distributed_propagation.h"
 #include "graph/label_propagation.h"
 #include "graph/similarity.h"
 #include "graph/similarity_search.h"

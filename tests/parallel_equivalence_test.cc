@@ -17,7 +17,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/determinism.h"
+#include "audit/determinism.h"
 #include "dataflow/feature_generation.h"
 #include "graph/knn_graph.h"
 #include "graph/label_propagation.h"

@@ -331,6 +331,30 @@ TEST(ParseNumberTest, RejectsGarbageAtoiWouldAccept) {
   EXPECT_FALSE(ParseDouble("").ok());
 }
 
+TEST(ParseNumberTest, SignedBoundariesAreExact) {
+  // The extreme representable values parse, and one past either end — a
+  // literal from_chars reports as out-of-range — is rejected, not clamped.
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());
+}
+
+TEST(ParseNumberTest, RejectsNonCanonicalIntegerForms) {
+  // from_chars deliberately takes the narrow grammar: no leading '+', no
+  // whitespace, no hex — every one of these is a config typo, not a number.
+  EXPECT_FALSE(ParseInt64("+7").ok());
+  EXPECT_FALSE(ParseUint64("+7").ok());
+  EXPECT_FALSE(ParseInt64(" 7").ok());
+  EXPECT_FALSE(ParseInt64("7 ").ok());
+  EXPECT_FALSE(ParseInt64("0x10").ok());
+  EXPECT_FALSE(ParseUint64("0x10").ok());
+  // A lone sign or empty string is not an integer either.
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+}
+
 TEST(ParseNumberTest, FiniteVariantRejectsNanAndInf) {
   EXPECT_TRUE(ParseDouble("inf").ok());
   EXPECT_TRUE(ParseDouble("nan").ok());

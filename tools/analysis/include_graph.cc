@@ -1,0 +1,48 @@
+#include "analysis/include_graph.h"
+
+#include <regex>
+
+namespace analysis {
+
+std::string ModuleOfPath(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t slash = rel.find('/', start);
+  if (slash == std::string::npos) return "";
+  return rel.substr(start, slash - start);
+}
+
+IncludeGraph BuildIncludeGraph(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  // Raw lines, not stripped: StripCommentsAndStrings blanks the quoted
+  // include path itself (it is a string literal to the stripper).
+  static const std::regex include_re(R"(^\s*#\s*include\s+"([^"]+)\")");
+  for (const SourceFile& file : files) {
+    const std::string from_module = ModuleOfPath(file.rel);
+    for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(file.raw_lines[i], m, include_re)) continue;
+      IncludeEdge edge;
+      edge.from_file = file.rel;
+      edge.to_include = m[1];
+      edge.line = static_cast<int>(i + 1);
+      edge.from_module = from_module;
+      // The build compiles with -I src/: a quoted include's first path
+      // component names its module. Targets without a directory (tool-local
+      // headers like "analysis/text.h" resolve against tools/, not src/)
+      // only count when the first component is a src module — decided by
+      // the caller via the layer spec, so record the component verbatim.
+      const size_t slash = edge.to_include.find('/');
+      edge.to_module =
+          slash == std::string::npos ? "" : edge.to_include.substr(0, slash);
+      graph.edges.push_back(edge);
+      if (!edge.from_module.empty() && !edge.to_module.empty() &&
+          edge.from_module != edge.to_module) {
+        graph.module_edges[edge.from_module][edge.to_module].push_back(edge);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace analysis

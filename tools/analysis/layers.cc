@@ -1,0 +1,263 @@
+#include "analysis/layers.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "analysis/source.h"
+
+namespace analysis {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream in(s);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+}  // namespace
+
+bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
+                    std::string* error) {
+  spec->level.clear();
+  spec->allowed.clear();
+  enum class Section { kNone, kLayers, kAllow };
+  Section section = Section::kNone;
+  int lineno = 0;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == "[layers]") {
+      section = Section::kLayers;
+      continue;
+    }
+    if (line == "[allow]") {
+      section = Section::kAllow;
+      continue;
+    }
+    if (line.front() == '[') {
+      *error = "LAYERS:" + std::to_string(lineno) + ": unknown section '" +
+               line + "'";
+      return false;
+    }
+    if (section == Section::kLayers) {
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        *error = "LAYERS:" + std::to_string(lineno) +
+                 ": expected '<level>: <module> ...'";
+        return false;
+      }
+      const std::string level_text = Trim(line.substr(0, colon));
+      char* end = nullptr;
+      const long level = std::strtol(level_text.c_str(), &end, 10);
+      if (level_text.empty() || end == nullptr || *end != '\0' || level < 0) {
+        *error = "LAYERS:" + std::to_string(lineno) +
+                 ": layer level must be a non-negative integer, got '" +
+                 level_text + "'";
+        return false;
+      }
+      const auto modules = SplitWords(line.substr(colon + 1));
+      if (modules.empty()) {
+        *error = "LAYERS:" + std::to_string(lineno) +
+                 ": layer " + level_text + " declares no modules";
+        return false;
+      }
+      for (const std::string& module : modules) {
+        if (!spec->level.emplace(module, static_cast<int>(level)).second) {
+          *error = "LAYERS:" + std::to_string(lineno) + ": module '" +
+                   module + "' declared twice";
+          return false;
+        }
+      }
+    } else if (section == Section::kAllow) {
+      const size_t arrow = line.find("->");
+      if (arrow == std::string::npos) {
+        *error = "LAYERS:" + std::to_string(lineno) +
+                 ": expected '<from> -> <to>'";
+        return false;
+      }
+      const std::string from = Trim(line.substr(0, arrow));
+      const std::string to = Trim(line.substr(arrow + 2));
+      if (from.empty() || to.empty()) {
+        *error = "LAYERS:" + std::to_string(lineno) +
+                 ": expected '<from> -> <to>'";
+        return false;
+      }
+      for (const std::string& m : {from, to}) {
+        if (spec->level.count(m) == 0) {
+          *error = "LAYERS:" + std::to_string(lineno) + ": [allow] names '" +
+                   m + "', which no layer declares";
+          return false;
+        }
+      }
+      spec->allowed.emplace(from, to);
+    } else {
+      *error = "LAYERS:" + std::to_string(lineno) +
+               ": content before any [layers]/[allow] section";
+      return false;
+    }
+  }
+  if (spec->level.empty()) {
+    *error = "LAYERS: no [layers] section (or it declares no modules)";
+    return false;
+  }
+  return true;
+}
+
+bool LoadLayerSpec(const std::string& path, LayerSpec* spec,
+                   std::string* error) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    *error = "cannot read layer spec " + path;
+    return false;
+  }
+  return ParseLayerSpec(text, spec, error);
+}
+
+namespace {
+
+/// DFS over the permitted module edges (downward, same-layer, [allow])
+/// reporting every include cycle once, with one representative file-level
+/// edge per hop so the chain is actionable.
+class CycleFinder {
+ public:
+  CycleFinder(
+      const std::map<std::string,
+                     std::map<std::string, std::vector<IncludeEdge>>>& edges,
+      std::vector<Finding>* findings)
+      : edges_(edges), findings_(findings) {}
+
+  void Run() {
+    for (const auto& [module, targets] : edges_) {
+      (void)targets;
+      if (color_[module] == 0) Visit(module);
+    }
+  }
+
+ private:
+  void Visit(const std::string& module) {
+    color_[module] = 1;  // on the current DFS path
+    stack_.push_back(module);
+    const auto it = edges_.find(module);
+    if (it != edges_.end()) {
+      for (const auto& [target, file_edges] : it->second) {
+        if (color_[target] == 1) {
+          ReportCycle(target, file_edges.front());
+        } else if (color_[target] == 0) {
+          Visit(target);
+        }
+      }
+    }
+    stack_.pop_back();
+    color_[module] = 2;
+  }
+
+  void ReportCycle(const std::string& back_to, const IncludeEdge& closing) {
+    // The cycle is the stack suffix starting at back_to, closed by
+    // `closing`.
+    const auto begin =
+        std::find(stack_.begin(), stack_.end(), back_to);
+    std::vector<std::string> cycle(begin, stack_.end());
+    // Canonicalize so each cycle is reported once regardless of the DFS
+    // entry point.
+    std::vector<std::string> key = cycle;
+    std::sort(key.begin(), key.end());
+    std::string signature;
+    for (const auto& m : key) signature += m + "|";
+    if (!seen_.insert(signature).second) return;
+
+    std::string chain;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const std::string& from = cycle[i];
+      const std::string& to = cycle[(i + 1) % cycle.size()];
+      const auto& file_edges = edges_.at(from).at(to);
+      const IncludeEdge& e = file_edges.front();
+      chain += "\n    " + from + " -> " + to + "  (" + e.from_file + ":" +
+               std::to_string(e.line) + " includes \"" + e.to_include + "\")";
+    }
+    findings_->push_back(
+        {"layering", closing.from_file, closing.line,
+         "include cycle between modules — the module graph must be acyclic "
+         "even within a layer:" + chain,
+         ""});
+  }
+
+  const std::map<std::string, std::map<std::string, std::vector<IncludeEdge>>>&
+      edges_;
+  std::vector<Finding>* findings_;
+  std::map<std::string, int> color_;  // 0 unvisited, 1 on path, 2 done
+  std::vector<std::string> stack_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+std::vector<Finding> CheckLayering(const IncludeGraph& graph,
+                                   const LayerSpec& spec) {
+  std::vector<Finding> findings;
+  // Edges that survive the upward check feed the cycle pass.
+  std::map<std::string, std::map<std::string, std::vector<IncludeEdge>>>
+      permitted;
+  std::set<std::string> undeclared_reported;
+  for (const auto& [from, targets] : graph.module_edges) {
+    const auto from_it = spec.level.find(from);
+    for (const auto& [to, file_edges] : targets) {
+      const auto to_it = spec.level.find(to);
+      if (from_it == spec.level.end() || to_it == spec.level.end()) {
+        const std::string& missing =
+            from_it == spec.level.end() ? from : to;
+        if (undeclared_reported.insert(missing).second) {
+          const IncludeEdge& e = file_edges.front();
+          findings.push_back(
+              {"layering", e.from_file, e.line,
+               "module '" + missing +
+                   "' is not declared in LAYERS — every src/ module must be "
+                   "assigned a layer (first seen via " + e.from_file + ":" +
+                   std::to_string(e.line) + " -> \"" + e.to_include + "\")",
+               "declare '" + missing + "' under [layers] in LAYERS"});
+        }
+        continue;
+      }
+      if (spec.allowed.count({from, to}) > 0) {
+        permitted[from][to] = file_edges;
+        continue;
+      }
+      if (to_it->second > from_it->second) {
+        for (const IncludeEdge& e : file_edges) {
+          findings.push_back(
+              {"layering", e.from_file, e.line,
+               "upward include: module '" + from + "' (layer " +
+                   std::to_string(from_it->second) + ") -> '" + to +
+                   "' (layer " + std::to_string(to_it->second) + ") via " +
+                   e.from_file + ":" + std::to_string(e.line) +
+                   " includes \"" + e.to_include +
+                   "\" — lower layers must not depend on higher ones",
+               "move the shared code down a layer, or add '" + from +
+                   " -> " + to + "  # <reason>' under [allow] in LAYERS"});
+        }
+        continue;
+      }
+      permitted[from][to] = file_edges;
+    }
+  }
+  CycleFinder(permitted, &findings).Run();
+  return findings;
+}
+
+}  // namespace analysis

@@ -1,0 +1,5 @@
+// fixture: minimal service with a fallible Call
+struct Entity {};
+struct Svc {
+  Result<double> Call(const Entity& e) const;
+};

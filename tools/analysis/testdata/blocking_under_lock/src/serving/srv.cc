@@ -1,0 +1,40 @@
+// fixture: blocking work under locks
+#include "resources/svc.h"
+#include "util/mutex.h"
+
+double ScoreLocked(Svc& svc, Mutex* mu, const Entity& e) {
+  MutexLock lock(mu);
+  double out = 0.0;
+  out += 1.0;
+  auto r = svc.Call(e);
+  return out + (r.ok() ? 1.0 : 0.0);
+}
+
+void WriteLocked(Mutex* mu) {
+  MutexLock lock(mu);
+  int rows = 0;
+  WriteRowsTsv("x.tsv", rows);
+}
+
+double Suppressed(Svc& svc, Mutex* mu, const Entity& e) {
+  MutexLock lock(mu);
+  // startup-only path, no contention possible
+  // cmdeps: blocking-ok — fixture: justified
+  auto r = svc.Call(e);
+  return r.ok() ? 1.0 : 0.0;
+}
+
+class Store {
+ public:
+  void FlushLocked() CM_REQUIRES(mu_) {
+    int rows = 0;
+    WriteRowsTsv("y.tsv", rows);
+  }
+  Mutex mu_;
+};
+
+void AfterScope(Svc& svc, Mutex* mu, const Entity& e) {
+  { MutexLock lock(mu); }
+  auto r = svc.Call(e);
+  (void)r;
+}

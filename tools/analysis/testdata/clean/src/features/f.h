@@ -1,0 +1,2 @@
+// fixture: features builds on util (downward, fine)
+#include "util/base.h"

@@ -1,0 +1,3 @@
+// fixture: serving sees every lower layer (downward, fine)
+#include "features/f.h"
+#include "io/x.h"

@@ -1,0 +1,1 @@
+// fixture: util bottom layer, no dependencies

@@ -1,0 +1,3 @@
+// fixture: core may see graph (downward, fine)
+
+#include "graph/g2.h"

@@ -1,0 +1,4 @@
+// fixture: upward include from graph (layer 2) into core (layer 4)
+#include "util/a.h"
+
+#include "core/pipe.h"

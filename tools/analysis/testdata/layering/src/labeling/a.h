@@ -1,0 +1,2 @@
+// fixture: same-layer cycle, half 1
+#include "mining/b.h"

@@ -1,0 +1,2 @@
+// fixture: same-layer cycle, half 2
+#include "labeling/a.h"

@@ -1,0 +1,1 @@
+// fixture: empty core header

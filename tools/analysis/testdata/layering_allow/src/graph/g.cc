@@ -1,0 +1,2 @@
+// fixture: the same upward include, explicitly [allow]ed
+#include "core/pipe.h"

@@ -1,0 +1,2 @@
+// fixture: util reaching above itself
+#include "io/reader.h"

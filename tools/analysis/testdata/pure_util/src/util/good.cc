@@ -1,0 +1,2 @@
+// fixture: util staying pure
+#include "util/other.h"

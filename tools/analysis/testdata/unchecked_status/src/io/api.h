@@ -1,0 +1,6 @@
+// fixture: fallible API whose return types the call sites must honor
+Status Save(const std::string& path);
+Result<int> Load(const std::string& path);
+int Plain(int x);
+Status Emit(int x);
+void Emit(double y);

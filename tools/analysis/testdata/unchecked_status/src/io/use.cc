@@ -1,0 +1,34 @@
+// fixture: drops Status/Result four ways, then handles them right
+#include "io/api.h"
+
+int DropFour() {
+  int x = Plain(1);
+  if (x > 0) {
+    x = 2;
+    Save("a.tsv");
+    (void)Load("b.tsv");
+  }
+  x = 3;
+  Status ignored = Save("c.tsv");
+  auto dropped = Load("d.tsv");
+  return x;
+}
+int Suppressed() {
+  Save("e.tsv");  // cmdeps: status-ok — fixture: intentional drop
+  return 0;
+}
+int Consumed() {
+  Status s = Save("f.tsv");
+  if (!s.ok()) return 1;
+  auto r = Load("g.tsv");
+  return r.ok() ? 0 : 1;
+}
+int Chained() { return Load("h.tsv").ok() ? 0 : 1; }
+int Ambiguous() {
+  Emit(1);
+  return 0;
+}
+int Lambda() {
+  auto fn = [&](int v) { Status s = Save("m.tsv"); return s.ok() ? v : 0; };
+  return 0;
+}

@@ -1,4 +1,4 @@
-// cmaudit — double-run determinism auditor (see core/determinism.h).
+// cmaudit — double-run determinism auditor (see audit/determinism.h).
 //
 // Runs every pipeline stage twice from the same seed, compares FNV-1a
 // content hashes of the stage artifacts, and prints a per-stage
@@ -17,7 +17,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/determinism.h"
+#include "audit/determinism.h"
 #include "util/parse_number.h"
 
 using namespace crossmodal;

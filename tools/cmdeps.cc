@@ -1,0 +1,759 @@
+// cmdeps: whole-repo architecture & dataflow static analyzer.
+//
+// cmlint checks conventions a single file can prove; cmdeps checks the
+// contracts that only exist *between* files: the module layering, and the
+// error-handling / locking discipline whose facts (a callee's return type,
+// a lock's extent) live in another translation unit. Built on the shared
+// tools/analysis/ scanning library.
+//
+// Rules:
+//
+//   layering        every `#include` under src/ is projected onto a module
+//                   graph and checked against the declarative repo-root
+//                   LAYERS spec. Upward edges (a lower layer including a
+//                   higher one), same-layer include cycles, and modules
+//                   missing from the spec all fail, with the offending
+//                   include chain printed. Exceptions are declared in the
+//                   LAYERS [allow] section, never in code.
+//   layer-pure-util util/ is the bottom of the world: it may not include
+//                   anything outside util/ (stricter than the level-0 rule
+//                   alone — it also bans includes of undeclared trees).
+//   unchecked-status
+//                   a call whose declaration — resolved across every header
+//                   in src/ — returns Status or Result<T>, where the result
+//                   is dropped: a bare call statement, a `(void)` cast, or
+//                   an assignment to a local that is never read again in
+//                   its scope. Suppress a provably-safe drop with
+//                   `// cmdeps: status-ok — <reason>`.
+//   blocking-under-lock
+//                   a blocking operation — FeatureService::Call, artifact
+//                   IO (fstream / *Tsv / *Csv helpers), sleeping, or
+//                   ThreadPool::Submit / ParallelFor / ParallelMap —
+//                   between a MutexLock construction and the end of its
+//                   scope, or inside a function annotated CM_REQUIRES
+//                   (which executes under a caller-held lock). Suppress
+//                   with `// cmdeps: blocking-ok — <reason>`.
+//
+// Usage:
+//   cmdeps --root <repo-root> [--layers FILE] [--allowlist FILE]
+//          [--json] [--fix-hints]
+//   cmdeps --check-layers FILE          parse/validate a LAYERS spec
+//   cmdeps --self-test --testdata DIR   verify every rule on the seeded
+//                                       fixtures in tools/analysis/testdata
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/include_graph.h"
+#include "analysis/layers.h"
+#include "analysis/source.h"
+#include "analysis/text.h"
+
+namespace fs = std::filesystem;
+
+using analysis::Finding;
+using analysis::IncludeGraph;
+using analysis::LayerSpec;
+using analysis::SourceFile;
+
+namespace {
+
+constexpr const char* kStatusOk = "cmdeps: status-ok";
+constexpr const char* kBlockingOk = "cmdeps: blocking-ok";
+
+// ---------------------------------------------------------------------------
+// layer-pure-util.
+// ---------------------------------------------------------------------------
+void CheckPureUtil(const IncludeGraph& graph, std::vector<Finding>* findings) {
+  for (const analysis::IncludeEdge& e : graph.edges) {
+    if (e.from_module != "util") continue;
+    if (e.to_include.rfind("util/", 0) == 0) continue;
+    findings->push_back(
+        {"layer-pure-util", e.from_file, e.line,
+         "util/ may only include util/ (found \"" + e.to_include +
+             "\") — util is the foundation layer every other module builds "
+             "on; a util dependency on anything above it is an inversion",
+         "move the shared code into util/, or the dependent code out of "
+         "util/"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status: cross-header return-type resolution + call-site checks.
+// ---------------------------------------------------------------------------
+
+/// Where one Status/Result-returning function was declared (first wins).
+struct StatusFn {
+  std::string file;
+  int line = 0;
+  bool returns_result = false;  ///< Result<T> rather than Status.
+};
+
+/// Scans every header for declarations returning Status or Result<T> and
+/// indexes them by function name. Token-level: `Status Name(` and
+/// `Result<...> Name(` (with nesting-aware template skip), anywhere in the
+/// stripped text, so members, free functions and virtuals all register.
+std::map<std::string, StatusFn> CollectStatusFunctions(
+    const std::vector<SourceFile>& files) {
+  std::map<std::string, StatusFn> fns;
+  static const std::regex type_re(R"(\b(Status|Result)\b)");
+  for (const SourceFile& file : files) {
+    if (!file.is_header) continue;
+    const std::string& text = file.stripped_text;
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), type_re);
+         it != std::sregex_iterator(); ++it) {
+      const size_t type_begin = static_cast<size_t>(it->position());
+      // Qualified uses (`Status::OK`, `foo::Status`) are not return types
+      // in declaration position for this codebase's style.
+      if (type_begin >= 2 && text[type_begin - 1] == ':' &&
+          text[type_begin - 2] == ':') {
+        continue;
+      }
+      size_t pos = type_begin + static_cast<size_t>(it->length());
+      const bool is_result = (*it)[1] == "Result";
+      if (is_result) {
+        pos = analysis::SkipWhitespace(text, pos);
+        if (pos >= text.size() || text[pos] != '<') continue;
+        pos = analysis::SkipTemplateArgs(text, pos);
+        if (pos == std::string::npos) continue;
+      } else if (pos < text.size() && text[pos] == ':') {
+        continue;  // `Status::OK(...)` — qualified member, not a return type
+      }
+      pos = analysis::SkipWhitespace(text, pos);
+      size_t end = pos;
+      while (end < text.size() && analysis::IsIdentChar(text[end])) ++end;
+      if (end == pos) continue;  // no identifier: variable/param/etc.
+      const std::string name = text.substr(pos, end - pos);
+      const size_t paren = analysis::SkipWhitespace(text, end);
+      if (paren >= text.size() || text[paren] != '(') continue;
+      if (name == "operator") continue;
+      fns.emplace(name, StatusFn{file.rel,
+                                 analysis::LineOfOffset(text, type_begin),
+                                 is_result});
+    }
+  }
+  return fns;
+}
+
+/// Removes from `fns` every name that is *also* declared with a non-Status
+/// return type somewhere in the tree (any file, since .cc-local classes
+/// declare their members in the .cc). Name-level resolution cannot tell
+/// `FeatureSchema::Add` (Result) from `SparseRow::Add` (void) apart at a
+/// call site, so colliding names are conservatively skipped rather than
+/// flagged on the wrong overload.
+void EraseAmbiguousNames(const std::vector<SourceFile>& files,
+                         std::map<std::string, StatusFn>* fns) {
+  static const std::set<std::string> kNotReturnTypes = {
+      "return", "co_return", "co_await", "co_yield", "new",    "delete",
+      "throw",  "else",      "case",     "goto",     "const",  "Status",
+      "Result", "operator",  "typename", "template", "sizeof", "using"};
+  static const std::regex decl_re(
+      R"(\b([A-Za-z_]\w*)\s+([A-Za-z_]\w*)\s*\()");
+  std::set<std::string> ambiguous;
+  for (const SourceFile& file : files) {
+    const std::string& text = file.stripped_text;
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string ret = (*it)[1];
+      const std::string name = (*it)[2];
+      if (fns->count(name) == 0) continue;
+      if (kNotReturnTypes.count(ret) > 0) continue;
+      ambiguous.insert(name);
+    }
+  }
+  for (const std::string& name : ambiguous) fns->erase(name);
+}
+
+/// Offset of the first character of each line, for line->offset mapping.
+std::vector<size_t> LineOffsets(const std::string& text) {
+  std::vector<size_t> offsets{0};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') offsets.push_back(i + 1);
+  }
+  return offsets;
+}
+
+/// End of the scope enclosing offset `from`: walks forward and returns the
+/// offset of the '}' that closes the block `from` lives in (or text.size()).
+size_t EnclosingScopeEnd(const std::string& text, size_t from) {
+  int depth = 0;
+  for (size_t i = from; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth < 0) return i;
+  }
+  return text.size();
+}
+
+/// True when the stripped line at index `i` begins a new statement (the
+/// previous non-blank, non-preprocessor line ended one).
+bool StartsStatement(const std::vector<std::string>& lines, size_t i) {
+  for (size_t j = i; j > 0; --j) {
+    const std::string& prev = lines[j - 1];
+    size_t end = prev.find_last_not_of(" \t\r");
+    if (end == std::string::npos) continue;  // blank: keep looking up
+    const char c = prev[end];
+    if (prev.find_first_not_of(" \t") != std::string::npos &&
+        prev[prev.find_first_not_of(" \t")] == '#') {
+      return true;  // preprocessor line above
+    }
+    return c == ';' || c == '{' || c == '}' || c == ':';
+  }
+  return true;  // first line of the file
+}
+
+std::string StatusOkHint(int line) {
+  return "append '// " + std::string(kStatusOk) +
+         " — <why the drop is safe>' on line " + std::to_string(line) +
+         " (or the line above)";
+}
+
+void CheckUncheckedStatus(const SourceFile& file,
+                          const std::map<std::string, StatusFn>& fns,
+                          std::vector<Finding>* findings) {
+  const std::string& text = file.stripped_text;
+  const std::vector<size_t> line_offsets = LineOffsets(text);
+
+  auto describe = [&fns](const std::string& name) {
+    const StatusFn& fn = fns.at(name);
+    return std::string(fn.returns_result ? "Result" : "Status") +
+           "-returning '" + name + "' (declared " + fn.file + ":" +
+           std::to_string(fn.line) + ")";
+  };
+
+  // ---- Case 1: bare call statement `obj.Fn(...);` / `Fn(...);`. ----------
+  static const std::regex bare_re(
+      R"(^(\s*)((?:[A-Za-z_]\w*(?:\.|->|::))*)([A-Za-z_]\w*)\s*\()");
+  for (size_t i = 0; i < file.stripped_lines.size(); ++i) {
+    std::smatch m;
+    const std::string& line = file.stripped_lines[i];
+    if (!std::regex_search(line, m, bare_re)) continue;
+    const std::string name = m[3];
+    if (fns.count(name) == 0) continue;
+    if (!StartsStatement(file.stripped_lines, i)) continue;
+    // The call's value must be truly discarded: matching ')' directly
+    // followed by ';'.
+    const size_t open = line_offsets[i] + static_cast<size_t>(m.position(3));
+    const size_t paren = text.find('(', open);
+    if (paren == std::string::npos) continue;
+    const size_t close = analysis::MatchingParen(text, paren);
+    if (close == std::string::npos) continue;
+    const size_t after = analysis::SkipWhitespace(text, close + 1);
+    if (after >= text.size() || text[after] != ';') continue;
+    const int lineno = static_cast<int>(i + 1);
+    if (analysis::HasSuppressionNear(file.raw_lines, lineno, kStatusOk)) {
+      continue;
+    }
+    findings->push_back(
+        {"unchecked-status", file.rel, lineno,
+         "call to " + describe(name) +
+             " discards the result — a dropped Status is a silently "
+             "swallowed failure; propagate it, CM_CHECK_OK it, or suppress "
+             "with a justification",
+         StatusOkHint(lineno)});
+  }
+
+  // ---- Case 2: `(void)Fn(...)` cast. -------------------------------------
+  static const std::regex void_re(
+      R"(\(\s*void\s*\)\s*((?:[A-Za-z_]\w*(?:\.|->|::))*)([A-Za-z_]\w*)\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), void_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2];
+    if (fns.count(name) == 0) continue;
+    const int lineno =
+        analysis::LineOfOffset(text, static_cast<size_t>(it->position()));
+    if (analysis::HasSuppressionNear(file.raw_lines, lineno, kStatusOk)) {
+      continue;
+    }
+    findings->push_back(
+        {"unchecked-status", file.rel, lineno,
+         "(void)-cast of " + describe(name) +
+             " hides a fallible call — handle the error or suppress with a "
+             "justification",
+         StatusOkHint(lineno)});
+  }
+
+  // ---- Case 3: Status/Result local assigned but never read. --------------
+  static const std::regex local_re(
+      R"(^\s*(?:const\s+)?(Status|auto)\s+([a-z_]\w*)\s*=)");
+  for (size_t i = 0; i < file.stripped_lines.size(); ++i) {
+    std::smatch m;
+    const std::string& line = file.stripped_lines[i];
+    if (!std::regex_search(line, m, local_re)) continue;
+    if (!StartsStatement(file.stripped_lines, i)) continue;
+    const std::string var = m[2];
+    const size_t decl_begin = line_offsets[i];
+    const size_t stmt_end = text.find(';', decl_begin);
+    if (stmt_end == std::string::npos) continue;
+    // A lambda initializer is a callable, not a Status value; the fallible
+    // calls inside its body are checked where the body's own statements run.
+    const size_t init = analysis::SkipWhitespace(
+        text, decl_begin + static_cast<size_t>(m.position(0) + m.length(0)));
+    if (init < text.size() && text[init] == '[') continue;
+    if (m[1] == "auto") {
+      // Only flag `auto` locals whose initializer calls a known
+      // Status/Result function (otherwise the type is unknowable here).
+      const std::string rhs = text.substr(decl_begin, stmt_end - decl_begin);
+      static const std::regex call_re(R"(([A-Za-z_]\w*)\s*\()");
+      bool fallible = false;
+      for (auto c = std::sregex_iterator(rhs.begin(), rhs.end(), call_re);
+           c != std::sregex_iterator(); ++c) {
+        if (fns.count((*c)[1]) > 0) {
+          fallible = true;
+          break;
+        }
+      }
+      if (!fallible) continue;
+    }
+    const size_t scope_end = EnclosingScopeEnd(text, stmt_end);
+    const std::string rest = text.substr(stmt_end, scope_end - stmt_end);
+    const std::regex use_re("\\b" + var + "\\b");
+    if (std::regex_search(rest, use_re)) continue;
+    const int lineno = static_cast<int>(i + 1);
+    if (analysis::HasSuppressionNear(file.raw_lines, lineno, kStatusOk)) {
+      continue;
+    }
+    findings->push_back(
+        {"unchecked-status", file.rel, lineno,
+         "'" + var + "' holds a Status/Result that is never read in its "
+             "scope — the error outcome is silently dropped",
+         StatusOkHint(lineno)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// blocking-under-lock.
+// ---------------------------------------------------------------------------
+
+struct BlockingPattern {
+  std::regex re;
+  const char* what;
+};
+
+const std::vector<BlockingPattern>& BlockingPatterns() {
+  static const std::vector<BlockingPattern> kPatterns = {
+      {std::regex(R"((\.|->)Call\s*\()"),
+       "a FeatureService::Call (an RPC in production)"},
+      {std::regex(R"((\.|->|::)Submit\s*\()"), "ThreadPool::Submit"},
+      {std::regex(R"((\.|->)Parallel(For|Map)\s*\()"),
+       "a parallel fan-out (blocks until every worker finishes)"},
+      {std::regex(
+           R"(\b(sleep_for|sleep_until|usleep|nanosleep|SleepFor)\s*(\(|\<))"),
+       "a sleep"},
+      {std::regex(R"(\b(std::)?(i|o)fstream\b)"), "file-stream IO"},
+      {std::regex(R"(\b(Read|Write)[A-Za-z0-9]*(Tsv|Csv|Json)\s*\()"),
+       "artifact IO"},
+  };
+  return kPatterns;
+}
+
+/// Scans [begin, end) of `file` for blocking operations; `held` describes
+/// the lock for the message.
+void ScanLockedRegion(const SourceFile& file, size_t begin, size_t end,
+                      const std::string& held,
+                      std::vector<Finding>* findings) {
+  const std::string region = file.stripped_text.substr(begin, end - begin);
+  for (const BlockingPattern& pattern : BlockingPatterns()) {
+    for (auto it =
+             std::sregex_iterator(region.begin(), region.end(), pattern.re);
+         it != std::sregex_iterator(); ++it) {
+      const size_t offset = begin + static_cast<size_t>(it->position());
+      const int lineno = analysis::LineOfOffset(file.stripped_text, offset);
+      if (analysis::HasSuppressionNear(file.raw_lines, lineno, kBlockingOk)) {
+        continue;
+      }
+      findings->push_back(
+          {"blocking-under-lock", file.rel, lineno,
+           std::string(pattern.what) + " runs while " + held +
+               " — every other thread contending that mutex stalls for the "
+               "full blocking duration; move the work outside the critical "
+               "section or suppress with a justification",
+           "append '// " + std::string(kBlockingOk) +
+               " — <why blocking here is safe>' on line " +
+               std::to_string(lineno) + " (or the line above)"});
+    }
+  }
+}
+
+void CheckBlockingUnderLock(const SourceFile& file,
+                            std::vector<Finding>* findings) {
+  const std::string& text = file.stripped_text;
+
+  // ---- MutexLock guard scopes. -------------------------------------------
+  static const std::regex lock_re(R"(\bMutexLock\s+([A-Za-z_]\w*)\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), lock_re);
+       it != std::sregex_iterator(); ++it) {
+    const size_t decl = static_cast<size_t>(it->position());
+    const size_t stmt_end = text.find(';', decl);
+    if (stmt_end == std::string::npos) continue;
+    const size_t scope_end = EnclosingScopeEnd(text, stmt_end);
+    ScanLockedRegion(file, stmt_end, scope_end,
+                     "MutexLock '" + std::string((*it)[1]) + "' (" + file.rel +
+                         ":" +
+                         std::to_string(analysis::LineOfOffset(text, decl)) +
+                         ") is held",
+                     findings);
+  }
+
+  // ---- Functions annotated CM_REQUIRES run under a caller-held lock. -----
+  static const std::regex requires_re(R"(\bCM_REQUIRES\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), requires_re);
+       it != std::sregex_iterator(); ++it) {
+    const size_t open = text.find(
+        '(', static_cast<size_t>(it->position()));
+    const size_t close = analysis::MatchingParen(text, open);
+    if (close == std::string::npos) continue;
+    // Definition bodies only; annotated declarations end in ';'.
+    size_t pos = close + 1;
+    while (pos < text.size() && text[pos] != '{' && text[pos] != ';') ++pos;
+    if (pos >= text.size() || text[pos] != '{') continue;
+    const size_t body_end = analysis::MatchingBrace(text, pos);
+    if (body_end == std::string::npos) continue;
+    ScanLockedRegion(
+        file, pos, body_end,
+        "the caller's lock is held (CM_REQUIRES, " + file.rel + ":" +
+            std::to_string(analysis::LineOfOffset(
+                text, static_cast<size_t>(it->position()))) +
+            ")",
+        findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree analysis driver.
+// ---------------------------------------------------------------------------
+
+struct AnalyzeOptions {
+  fs::path root;
+  fs::path layers;     ///< Defaults to <root>/LAYERS.
+  fs::path allowlist;  ///< Optional rule:path allowlist.
+};
+
+/// Runs every rule over the tree. Returns 2 on infrastructure errors
+/// (unreadable spec), otherwise 0 with findings appended.
+int AnalyzeTree(const AnalyzeOptions& options,
+                std::vector<Finding>* findings, std::ostream& diag) {
+  LayerSpec spec;
+  std::string error;
+  if (!analysis::LoadLayerSpec(options.layers.string(), &spec, &error)) {
+    diag << "cmdeps: " << error << "\n";
+    return 2;
+  }
+
+  const std::vector<std::string> kSubdirs = {"src", "tools", "tests", "bench",
+                                             "examples"};
+  std::vector<SourceFile> files;
+  for (const fs::path& path :
+       analysis::ListSourceFiles(options.root, kSubdirs)) {
+    SourceFile file;
+    const std::string rel =
+        fs::relative(path, options.root).generic_string();
+    if (!analysis::LoadSourceFile(path, rel, &file)) {
+      diag << "cmdeps: cannot read " << rel << "\n";
+      return 2;
+    }
+    files.push_back(std::move(file));
+  }
+
+  const IncludeGraph graph = analysis::BuildIncludeGraph(files);
+  for (Finding& f : analysis::CheckLayering(graph, spec)) {
+    findings->push_back(std::move(f));
+  }
+  CheckPureUtil(graph, findings);
+
+  std::map<std::string, StatusFn> fns = CollectStatusFunctions(files);
+  EraseAmbiguousNames(files, &fns);
+  for (const SourceFile& file : files) {
+    const bool is_src = file.rel.rfind("src/", 0) == 0;
+    const bool is_tool = file.rel.rfind("tools/", 0) == 0;
+    const bool is_example = file.rel.rfind("examples/", 0) == 0;
+    if (is_src || is_tool || is_example) {
+      CheckUncheckedStatus(file, fns, findings);
+    }
+    if (is_src || is_tool) CheckBlockingUnderLock(file, findings);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test over the seeded fixture trees in tools/analysis/testdata/.
+// ---------------------------------------------------------------------------
+
+int SelfTest(const fs::path& testdata) {
+  int failures = 0;
+  auto expect = [&failures](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cout << "self-test FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+
+  // ---- Spec parsing (the LAYERS grammar gate). ---------------------------
+  {
+    LayerSpec spec;
+    std::string error;
+    expect(analysis::ParseLayerSpec(
+               "[layers]\n0: util\n1: io serving\n[allow]\nio -> serving\n",
+               &spec, &error),
+           "well-formed spec parses (" + error + ")");
+    expect(spec.level.at("serving") == 1, "spec assigns levels");
+    expect(spec.allowed.count({"io", "serving"}) == 1,
+           "spec records [allow] edges");
+    expect(!analysis::ParseLayerSpec("[layers]\n0: util\n1: util\n", &spec,
+                                     &error),
+           "duplicate module rejected");
+    expect(!analysis::ParseLayerSpec("0: util\n", &spec, &error),
+           "content before any section rejected");
+    expect(!analysis::ParseLayerSpec("[layers]\nx: util\n", &spec, &error),
+           "non-numeric level rejected");
+    expect(!analysis::ParseLayerSpec(
+               "[layers]\n0: util\n[allow]\nutil -> ghost\n", &spec, &error),
+           "[allow] naming an undeclared module rejected");
+  }
+
+  // Runs one fixture tree and returns its findings as "rule:file:line"
+  // strings plus the raw findings for message checks.
+  struct CaseResult {
+    std::vector<Finding> findings;
+    std::set<std::string> keys;
+    bool ok = false;
+  };
+  auto run_case = [&testdata](const std::string& name) {
+    CaseResult result;
+    AnalyzeOptions options;
+    options.root = testdata / name;
+    options.layers = options.root / "LAYERS";
+    std::ostringstream diag;
+    result.ok = AnalyzeTree(options, &result.findings, diag) == 0;
+    for (const Finding& f : result.findings) {
+      result.keys.insert(f.rule + ":" + f.file + ":" + std::to_string(f.line));
+    }
+    return result;
+  };
+
+  // ---- clean: a conforming mini-tree produces zero findings. -------------
+  {
+    const CaseResult r = run_case("clean");
+    expect(r.ok, "clean fixture analyzable");
+    expect(r.findings.empty(),
+           "clean fixture has no findings (got " +
+               std::to_string(r.findings.size()) + ")");
+  }
+
+  // ---- layering: the artificially added upward include is rejected, the
+  // same-layer cycle is caught, downward/same-layer edges pass. -----------
+  {
+    const CaseResult r = run_case("layering");
+    expect(r.ok, "layering fixture analyzable");
+    expect(r.keys.count("layering:src/graph/g.cc:4") == 1,
+           "upward include (graph -> core) rejected");
+    bool cycle = false, chain = false;
+    for (const Finding& f : r.findings) {
+      if (f.message.find("include cycle") != std::string::npos) {
+        cycle = true;
+        if (f.message.find("labeling -> mining") != std::string::npos &&
+            f.message.find("mining -> labeling") != std::string::npos) {
+          chain = true;
+        }
+      }
+    }
+    expect(cycle, "same-layer include cycle detected");
+    expect(chain, "cycle report prints the offending include chain");
+    expect(r.keys.count("layering:src/core/pipe.h:3") == 0,
+           "downward include not flagged");
+    expect(r.findings.size() == 2,
+           "layering fixture yields exactly the 2 seeded findings (got " +
+               std::to_string(r.findings.size()) + ")");
+  }
+
+  // ---- layering_allow: the same upward edge passes once [allow]ed. -------
+  {
+    const CaseResult r = run_case("layering_allow");
+    expect(r.ok, "layering_allow fixture analyzable");
+    expect(r.findings.empty(),
+           "[allow]ed upward edge suppressed (got " +
+               std::to_string(r.findings.size()) + ")");
+  }
+
+  // ---- pure_util: util/ reaching above itself is rejected. ---------------
+  {
+    const CaseResult r = run_case("pure_util");
+    expect(r.ok, "pure_util fixture analyzable");
+    expect(r.keys.count("layer-pure-util:src/util/bad.cc:2") == 1,
+           "util including io/ rejected");
+    bool good_flagged = false;
+    for (const Finding& f : r.findings) {
+      if (f.file == "src/util/good.cc") good_flagged = true;
+    }
+    expect(!good_flagged, "util including util/ not flagged");
+  }
+
+  // ---- unchecked_status: three drop shapes fire; suppressed + consumed
+  // uses stay quiet. -------------------------------------------------------
+  {
+    const CaseResult r = run_case("unchecked_status");
+    expect(r.ok, "unchecked_status fixture analyzable");
+    expect(r.keys.count("unchecked-status:src/io/use.cc:8") == 1,
+           "bare dropped call detected");
+    expect(r.keys.count("unchecked-status:src/io/use.cc:9") == 1,
+           "(void)-cast Status detected");
+    expect(r.keys.count("unchecked-status:src/io/use.cc:12") == 1,
+           "never-read Status local detected");
+    expect(r.keys.count("unchecked-status:src/io/use.cc:13") == 1,
+           "never-read auto Result local detected");
+    for (const Finding& f : r.findings) {
+      expect(f.file != "src/io/use.cc" ||
+                 (f.line != 17 && f.line != 21 && f.line != 22 && f.line != 26),
+             "suppressed/consumed use flagged at line " +
+                 std::to_string(f.line));
+    }
+    expect(r.keys.count("unchecked-status:src/io/use.cc:28") == 0,
+           "name with conflicting overload return types treated as ambiguous");
+    expect(r.keys.count("unchecked-status:src/io/use.cc:32") == 0,
+           "lambda initializer not mistaken for a dropped Status");
+    expect(r.findings.size() == 4,
+           "unchecked_status fixture yields exactly 4 findings (got " +
+               std::to_string(r.findings.size()) + ")");
+  }
+
+  // ---- blocking_under_lock: Call/IO under a guard and inside CM_REQUIRES
+  // fire; suppressed and after-scope uses stay quiet. ----------------------
+  {
+    const CaseResult r = run_case("blocking_under_lock");
+    expect(r.ok, "blocking_under_lock fixture analyzable");
+    expect(r.keys.count("blocking-under-lock:src/serving/srv.cc:9") == 1,
+           "service Call under MutexLock detected");
+    expect(r.keys.count("blocking-under-lock:src/serving/srv.cc:16") == 1,
+           "artifact IO under MutexLock detected");
+    expect(r.keys.count("blocking-under-lock:src/serving/srv.cc:31") == 1,
+           "blocking inside CM_REQUIRES body detected");
+    for (const Finding& f : r.findings) {
+      expect(f.file != "src/serving/srv.cc" ||
+                 (f.line != 23 && f.line != 38),
+             "suppressed/after-scope blocking flagged at line " +
+                 std::to_string(f.line));
+    }
+    expect(r.findings.size() == 3,
+           "blocking_under_lock fixture yields exactly 3 findings (got " +
+               std::to_string(r.findings.size()) + ")");
+  }
+
+  if (failures == 0) {
+    std::cout << "cmdeps self-test: every rule fires on its seeded fixtures "
+                 "and honors suppressions\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root, layers, allowlist, testdata, check_layers;
+  bool self_test = false, json = false, fix_hints = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else if (arg == "--testdata" && i + 1 < argc) {
+      testdata = argv[++i];
+    } else if (arg == "--check-layers" && i + 1 < argc) {
+      check_layers = argv[++i];
+    } else {
+      std::cout << "usage: cmdeps --root <repo-root> [--layers FILE] "
+                   "[--allowlist FILE] [--json] [--fix-hints] | "
+                   "--check-layers FILE | --self-test --testdata DIR\n";
+      return 2;
+    }
+  }
+
+  if (self_test) {
+    if (testdata.empty()) {
+      std::cout << "cmdeps: --self-test requires --testdata "
+                   "<tools/analysis/testdata>\n";
+      return 2;
+    }
+    return SelfTest(testdata);
+  }
+
+  if (!check_layers.empty()) {
+    LayerSpec spec;
+    std::string error;
+    if (!analysis::LoadLayerSpec(check_layers.string(), &spec, &error)) {
+      std::cout << "cmdeps: " << error << "\n";
+      return 1;
+    }
+    std::cout << "cmdeps: " << check_layers.string() << " OK ("
+              << spec.level.size() << " modules, " << spec.allowed.size()
+              << " allowed exception(s))\n";
+    return 0;
+  }
+
+  if (root.empty()) {
+    std::cout << "cmdeps: --root is required (or use --self-test / "
+                 "--check-layers)\n";
+    return 2;
+  }
+
+  AnalyzeOptions options;
+  options.root = root;
+  options.layers = layers.empty() ? root / "LAYERS" : layers;
+  if (allowlist.empty()) {
+    const fs::path default_allowlist = root / "tools" / "cmdeps_allowlist.txt";
+    if (fs::exists(default_allowlist)) allowlist = default_allowlist;
+  }
+
+  std::vector<Finding> findings;
+  const int rc = AnalyzeTree(options, &findings, std::cout);
+  if (rc != 0) return rc;
+
+  bool allow_ok = true;
+  const std::set<std::string> allow =
+      analysis::LoadAllowlist(allowlist, &allow_ok);
+  if (!allow_ok) {
+    std::cout << "cmdeps: cannot read allowlist " << allowlist << "\n";
+    return 2;
+  }
+  analysis::FilteredFindings filtered =
+      analysis::ApplyAllowlist(findings, allow);
+  std::sort(filtered.reported.begin(), filtered.reported.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+
+  if (json) {
+    analysis::PrintFindingsJson("cmdeps", filtered.reported, std::cout);
+  } else {
+    analysis::PrintFindings(filtered.reported, fix_hints, std::cout);
+    for (const std::string& entry : filtered.stale) {
+      std::cout << "note: stale allowlist entry (no matching finding): "
+                << entry << "\n";
+    }
+    std::cout << "cmdeps: " << filtered.reported.size() << " finding(s)";
+    if (filtered.suppressed > 0) {
+      std::cout << ", " << filtered.suppressed << " allowlisted";
+    }
+    std::cout << "\n";
+  }
+  return filtered.reported.empty() ? 0 : 1;
+}

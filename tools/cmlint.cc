@@ -45,14 +45,16 @@
 //
 // Registered as a ctest test through tools/run_checks.sh, so `ctest` fails
 // whenever a convention regresses.
+//
+// The load pass (comment/string stripping, file IO, allowlists) lives in
+// the shared tools/analysis/ library, which cmdeps builds on too; cmlint
+// owns only its per-file convention rules.
 
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <regex>
 #include <set>
@@ -60,95 +62,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/findings.h"
+#include "analysis/source.h"
+#include "analysis/text.h"
+
 namespace fs = std::filesystem;
 
+using analysis::Finding;
+
 namespace {
-
-struct Finding {
-  std::string rule;
-  std::string file;  // path relative to the lint root
-  int line = 0;
-  std::string message;
-};
-
-// ---------------------------------------------------------------------------
-// Pass 1 — load: blank out comments and string/char literals so the token
-// rules do not fire on documentation or log text. Layout (line count, column
-// positions) is preserved.
-// ---------------------------------------------------------------------------
-std::string StripCommentsAndStrings(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream in(text);
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
 
 // Everything the rules may inspect about one file. Built once per file by
 // the load + facts passes, then handed to every rule.
@@ -164,53 +86,15 @@ struct FileContext {
                                          // containers (or FeatureStore)
 };
 
-// Line number (1-based) of a character offset into stripped_text.
-int LineOfOffset(const std::string& text, size_t offset) {
-  return 1 + static_cast<int>(
-                 std::count(text.begin(),
-                            text.begin() + static_cast<std::ptrdiff_t>(
-                                               std::min(offset, text.size())),
-                            '\n'));
-}
-
 // True when `marker` appears in the raw source on `line` (1-based) or the
 // line above it — the suppression-comment convention.
 bool HasSuppression(const FileContext& ctx, int line, const char* marker) {
-  for (int l = line; l >= line - 1; --l) {
-    if (l < 1 || static_cast<size_t>(l) > ctx.raw_lines.size()) continue;
-    if (ctx.raw_lines[static_cast<size_t>(l - 1)].find(marker) !=
-        std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// Offset of the brace matching the '{' at `open` in `text`, or npos.
-size_t MatchingBrace(const std::string& text, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '{') ++depth;
-    if (text[i] == '}' && --depth == 0) return i;
-  }
-  return std::string::npos;
+  return analysis::HasSuppressionNear(ctx.raw_lines, line, marker);
 }
 
 // ---------------------------------------------------------------------------
 // Pass 2 — facts: index declarations the data-flow-ish rules need.
 // ---------------------------------------------------------------------------
-
-// Offset just past the '>' closing the template list opened at `open`
-// (offset of '<'), handling nesting; npos when unbalanced.
-size_t SkipTemplateArgs(const std::string& text, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '<') ++depth;
-    if (text[i] == '>' && --depth == 0) return i + 1;
-    if (text[i] == ';') break;  // statement ended: not a template list
-  }
-  return std::string::npos;
-}
 
 void CollectUnorderedVars(FileContext* ctx) {
   const std::string& text = ctx->stripped_text;
@@ -223,7 +107,7 @@ void CollectUnorderedVars(FileContext* ctx) {
        it != std::sregex_iterator(); ++it) {
     const size_t open = static_cast<size_t>(it->position()) +
                         static_cast<size_t>(it->length()) - 1;
-    size_t pos = SkipTemplateArgs(text, open);
+    size_t pos = analysis::SkipTemplateArgs(text, open);
     if (pos == std::string::npos) continue;
     while (pos < text.size() &&
            (std::isspace(static_cast<unsigned char>(text[pos])) ||
@@ -278,7 +162,7 @@ void CheckIncludeGuard(const FileContext& ctx, std::vector<Finding>* findings) {
     if (guard != expected) {
       findings->push_back({"include-guard", ctx.rel, static_cast<int>(i + 1),
                            "guard '" + guard + "' should be '" + expected +
-                               "'"});
+                               "'", ""});
       return;
     }
     // The next non-blank line must define the same symbol.
@@ -288,14 +172,14 @@ void CheckIncludeGuard(const FileContext& ctx, std::vector<Finding>* findings) {
         findings->push_back({"include-guard", ctx.rel,
                              static_cast<int>(j + 1),
                              "#ifndef " + guard +
-                                 " is not followed by its #define"});
+                                 " is not followed by its #define", ""});
       }
       return;
     }
     return;
   }
   findings->push_back(
-      {"include-guard", ctx.rel, 1, "header has no include guard"});
+      {"include-guard", ctx.rel, 1, "header has no include guard", ""});
 }
 
 void CheckFileComment(const FileContext& ctx, std::vector<Finding>* findings) {
@@ -303,7 +187,7 @@ void CheckFileComment(const FileContext& ctx, std::vector<Finding>* findings) {
   if (ctx.raw_lines.empty() || ctx.raw_lines[0].rfind("//", 0) != 0) {
     findings->push_back({"file-comment", ctx.rel, 1,
                          "header must start with a top-of-file // doc "
-                         "comment describing the component"});
+                         "comment describing the component", ""});
   }
 }
 
@@ -320,7 +204,7 @@ void CheckNodiscard(const FileContext& ctx, std::vector<Finding>* findings) {
     if (std::regex_search(line, nodiscard_re)) continue;
     findings->push_back({"nodiscard", ctx.rel, static_cast<int>(i + 1),
                          "Status/Result-returning declaration must be "
-                         "[[nodiscard]]"});
+                         "[[nodiscard]]", ""});
   }
 }
 
@@ -344,7 +228,7 @@ void CheckBannedCalls(const FileContext& ctx, std::vector<Finding>* findings) {
     for (const auto& banned : kBanned) {
       if (std::regex_search(ctx.stripped_lines[i], banned.re)) {
         findings->push_back(
-            {"banned-call", ctx.rel, static_cast<int>(i + 1), banned.what});
+            {"banned-call", ctx.rel, static_cast<int>(i + 1), banned.what, ""});
       }
     }
   }
@@ -372,7 +256,7 @@ void CheckUnorderedIter(const FileContext& ctx,
     if (ctx.unordered_vars.count(var) == 0) continue;
     const size_t for_end = static_cast<size_t>(it->position()) +
                            static_cast<size_t>(it->length());
-    const int line = LineOfOffset(text, static_cast<size_t>(it->position()));
+    const int line = analysis::LineOfOffset(text, static_cast<size_t>(it->position()));
     if (HasSuppression(ctx, line, "cmlint: unordered-ok")) continue;
     // Body extent: the braced block after the ')' or, unbraced, the rest of
     // the statement up to ';'.
@@ -383,7 +267,7 @@ void CheckUnorderedIter(const FileContext& ctx,
     }
     std::string body;
     if (body_begin < text.size() && text[body_begin] == '{') {
-      const size_t body_end = MatchingBrace(text, body_begin);
+      const size_t body_end = analysis::MatchingBrace(text, body_begin);
       if (body_end == std::string::npos) continue;
       body = text.substr(body_begin, body_end - body_begin + 1);
     } else {
@@ -397,7 +281,7 @@ void CheckUnorderedIter(const FileContext& ctx,
          "range-for over unordered container '" + var +
              "' feeds an output/accumulator; iteration order is "
              "run-dependent — iterate a sorted copy, or annotate the loop "
-             "with '// cmlint: unordered-ok' if order cannot escape"});
+             "with '// cmlint: unordered-ok' if order cannot escape", ""});
   }
 }
 
@@ -419,7 +303,7 @@ void CheckNondeterministicSeed(const FileContext& ctx,
     for (const auto& seed : kSeeds) {
       if (std::regex_search(ctx.stripped_lines[i], seed.re)) {
         findings->push_back({"nondeterministic-seed", ctx.rel,
-                             static_cast<int>(i + 1), seed.what});
+                             static_cast<int>(i + 1), seed.what, ""});
       }
     }
   }
@@ -439,7 +323,7 @@ void CheckParallelReduction(const FileContext& ctx,
     const size_t call_pos = static_cast<size_t>(it->position());
     const size_t body_open = text.find('{', call_pos);
     if (body_open == std::string::npos) continue;
-    const size_t body_close = MatchingBrace(text, body_open);
+    const size_t body_close = analysis::MatchingBrace(text, body_open);
     if (body_close == std::string::npos) continue;
     const std::string body =
         text.substr(body_open, body_close - body_open + 1);
@@ -451,7 +335,7 @@ void CheckParallelReduction(const FileContext& ctx,
           R"(\b(auto|double|float|int|long|unsigned|size_t|u?int\d+_t)\b[^;\n]*\b)" +
           var + R"(\s*[={;])");
       if (std::regex_search(body, local_decl_re)) continue;
-      const int line = LineOfOffset(
+      const int line = analysis::LineOfOffset(
           text, body_open + static_cast<size_t>(acc->position()));
       if (HasSuppression(ctx, line, "cmlint: parallel-ok")) continue;
       findings->push_back(
@@ -459,7 +343,7 @@ void CheckParallelReduction(const FileContext& ctx,
            "ParallelFor body accumulates into shared '" + var +
                "'; a data race, and float sums become interleaving-"
                "dependent — accumulate per index and reduce in order "
-               "afterwards, or annotate with '// cmlint: parallel-ok'"});
+               "afterwards, or annotate with '// cmlint: parallel-ok'", ""});
     }
   }
 }
@@ -482,14 +366,6 @@ const Rule kRules[] = {
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
-bool ReadFile(const fs::path& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
-}
 
 // Lints one file: load pass, facts pass, then every registered rule. `rel`
 // is the repo-relative path used in reports and the allowlist; `rel_to_src`
@@ -497,45 +373,21 @@ bool ReadFile(const fs::path& path, std::string* out) {
 std::vector<Finding> LintFile(const fs::path& path, const std::string& rel,
                               const fs::path& rel_to_src) {
   std::vector<Finding> findings;
-  std::string text;
-  if (!ReadFile(path, &text)) {
-    findings.push_back({"io", rel, 0, "cannot read file"});
+  analysis::SourceFile source;
+  if (!analysis::LoadSourceFile(path, rel, &source)) {
+    findings.push_back({"io", rel, 0, "cannot read file", ""});
     return findings;
   }
   FileContext ctx;
   ctx.rel = rel;
   ctx.rel_to_src = rel_to_src;
-  ctx.is_header = path.extension() == ".h";
-  ctx.raw_lines = SplitLines(text);
-  ctx.stripped_text = StripCommentsAndStrings(text);
-  ctx.stripped_lines = SplitLines(ctx.stripped_text);
+  ctx.is_header = source.is_header;
+  ctx.raw_lines = std::move(source.raw_lines);
+  ctx.stripped_text = std::move(source.stripped_text);
+  ctx.stripped_lines = std::move(source.stripped_lines);
   CollectFacts(&ctx);
   for (const Rule& rule : kRules) rule.check(ctx, &findings);
   return findings;
-}
-
-// Allowlist lines are `rule:path` (repo-relative, e.g.
-// `banned-call:src/util/logging.h`); '#' starts a comment.
-std::set<std::string> LoadAllowlist(const fs::path& path, bool* ok) {
-  std::set<std::string> allow;
-  *ok = true;
-  if (path.empty()) return allow;
-  std::ifstream in(path);
-  if (!in) {
-    *ok = false;
-    return allow;
-  }
-  std::string line;
-  while (std::getline(in, line)) {
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    while (!line.empty() && std::isspace(static_cast<unsigned char>(
-                                line.back()))) {
-      line.pop_back();
-    }
-    if (!line.empty()) allow.insert(line);
-  }
-  return allow;
 }
 
 int LintTree(const fs::path& root, const fs::path& allowlist_path,
@@ -546,7 +398,8 @@ int LintTree(const fs::path& root, const fs::path& allowlist_path,
     return 2;
   }
   bool allow_ok = true;
-  const std::set<std::string> allow = LoadAllowlist(allowlist_path, &allow_ok);
+  const std::set<std::string> allow =
+      analysis::LoadAllowlist(allowlist_path, &allow_ok);
   if (!allow_ok) {
     out << "cmlint: cannot read allowlist " << allowlist_path << "\n";
     return 2;
@@ -597,10 +450,7 @@ int LintTree(const fs::path& root, const fs::path& allowlist_path,
 // comments suppress them).
 // ---------------------------------------------------------------------------
 bool WriteFile(const fs::path& path, const std::string& content) {
-  fs::create_directories(path.parent_path());
-  std::ofstream out(path, std::ios::binary);
-  out << content;
-  return static_cast<bool>(out);
+  return analysis::WriteFileString(path, content);
 }
 
 int SelfTest() {

@@ -1,37 +1,89 @@
 #!/usr/bin/env bash
-# Repo static checks: cmlint (self-test, then the tree) plus clang-tidy when
-# available. Registered as the `run_checks` ctest test; also runnable by hand:
+# Repo static checks: the cmlint and cmdeps self-tests, both analyzers over
+# the tree, the LAYERS spec gate, and clang-tidy when available. Registered
+# as the `run_checks` ctest test; also runnable by hand:
 #
-#   tools/run_checks.sh <path-to-cmlint-binary> <repo-root> [compile-db-dir]
+#   tools/run_checks.sh <cmlint-bin> <cmdeps-bin> <repo-root> [build-dir]
+#
+# Unlike a `set -e` script, every check always runs: one broken tool no
+# longer hides the results of the others. Each check's PASS/FAIL/SKIP status
+# is collected into a summary table and the script exits non-zero when any
+# check failed.
 #
 # clang-tidy is optional (the CI lint job and local clang installs run it);
-# when the binary or the compile database is missing it is skipped with a
+# when the binary or the compile database is missing it is SKIPped with a
 # note rather than failing, so gcc-only environments stay green.
-set -euo pipefail
+set -uo pipefail
 
-CMLINT_BIN=${1:?usage: run_checks.sh <cmlint-binary> <repo-root> [build-dir]}
-ROOT=${2:?usage: run_checks.sh <cmlint-binary> <repo-root> [build-dir]}
-BUILD_DIR=${3:-}
+usage="usage: run_checks.sh <cmlint-bin> <cmdeps-bin> <repo-root> [build-dir]"
+CMLINT_BIN=${1:?${usage}}
+CMDEPS_BIN=${2:?${usage}}
+ROOT=${3:?${usage}}
+BUILD_DIR=${4:-}
 
-echo "== cmlint self-test =="
-"${CMLINT_BIN}" --self-test
+names=()
+results=()
+failed=0
 
-echo "== cmlint ${ROOT}/src =="
-"${CMLINT_BIN}" --root "${ROOT}" \
+# run <name> <cmd...>: runs the check, records PASS/FAIL, never aborts.
+run() {
+  local name=$1
+  shift
+  echo "== ${name} =="
+  if "$@"; then
+    names+=("${name}")
+    results+=(PASS)
+  else
+    names+=("${name}")
+    results+=(FAIL)
+    failed=1
+  fi
+}
+
+skip() {
+  local name=$1 why=$2
+  echo "== ${name}: skipped (${why}) =="
+  names+=("${name}")
+  results+=("SKIP (${why})")
+}
+
+run "cmlint self-test" "${CMLINT_BIN}" --self-test
+run "cmlint src/" "${CMLINT_BIN}" --root "${ROOT}" \
   --allowlist "${ROOT}/tools/cmlint_allowlist.txt"
+run "cmdeps self-test" "${CMDEPS_BIN}" --self-test \
+  --testdata "${ROOT}/tools/analysis/testdata"
+run "cmdeps LAYERS spec" "${CMDEPS_BIN}" --check-layers "${ROOT}/LAYERS"
+run "cmdeps tree" "${CMDEPS_BIN}" --root "${ROOT}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ -n "${BUILD_DIR}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
     echo "== clang-tidy (config: ${ROOT}/.clang-tidy) =="
     # Library sources only; headers are covered via HeaderFilterRegex.
-    find "${ROOT}/src" -name '*.cc' -print0 |
-      xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "${BUILD_DIR}" --quiet
+    if find "${ROOT}/src" -name '*.cc' -print0 |
+      xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "${BUILD_DIR}" --quiet; then
+      names+=("clang-tidy")
+      results+=(PASS)
+    else
+      names+=("clang-tidy")
+      results+=(FAIL)
+      failed=1
+    fi
   else
-    echo "== clang-tidy: skipped (no compile_commands.json; configure with" \
-         "CMAKE_EXPORT_COMPILE_COMMANDS=ON and pass the build dir) =="
+    skip "clang-tidy" "no compile_commands.json; configure with \
+CMAKE_EXPORT_COMPILE_COMMANDS=ON and pass the build dir"
   fi
 else
-  echo "== clang-tidy: skipped (not installed) =="
+  skip "clang-tidy" "not installed"
 fi
 
+echo
+echo "== run_checks summary =="
+for i in "${!names[@]}"; do
+  printf '  %-20s %s\n' "${names[$i]}" "${results[$i]}"
+done
+
+if [[ ${failed} -ne 0 ]]; then
+  echo "run_checks: FAILED"
+  exit 1
+fi
 echo "run_checks: OK"
