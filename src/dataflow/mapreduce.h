@@ -97,9 +97,14 @@ class MapReduceExecutor {
     std::vector<std::vector<Out>> shard_out(num_shards_);
     pool_.ParallelFor(num_shards_, [&](size_t s) {
       // Group values preserving first-seen key order for determinism.
+      // Capacity is provisioned for the distinct-keys worst case so the
+      // grouping loop performs no rehash/regrow heap traffic.
       std::unordered_map<K, size_t> key_index;
       std::vector<K> keys;
       std::vector<std::vector<V>> groups;
+      key_index.reserve(shard_data[s].size());
+      keys.reserve(shard_data[s].size());
+      groups.reserve(shard_data[s].size());
       for (auto& kv : shard_data[s]) {
         auto [it, inserted] = key_index.emplace(kv.first, keys.size());
         if (inserted) {

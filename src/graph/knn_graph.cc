@@ -63,9 +63,17 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
   StagePool pool(options.parallel);
   constexpr size_t kSlices = 32;
   ForEachSlice(pool.get(), n, kSlices, [&](size_t, size_t begin, size_t end) {
-    // Slice-owned scratch: candidate overlap counts + reset list.
+    // Slice-owned scratch, allocated once per slice and reused across
+    // nodes: candidate overlap counts, the reset list, the candidate set,
+    // and the scoring buffer. Capacity is provisioned up front so the
+    // per-node loop performs no heap traffic (cmrace: alloc-in-slice).
     std::vector<uint32_t> shared_count(n, 0);
     std::vector<uint32_t> touched;
+    touched.reserve(n);
+    std::vector<uint32_t> candidates;
+    candidates.reserve(n);
+    std::vector<std::pair<float, uint32_t>> scored;
+    scored.reserve(n);
     for (size_t i = begin; i < end; ++i) {
       // Score candidates by number of shared items.
       touched.clear();
@@ -83,7 +91,7 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
         }
       }
       // Keep the most-overlapping candidates plus random ones.
-      std::vector<uint32_t> candidates = touched;
+      candidates.assign(touched.begin(), touched.end());
       if (candidates.size() > options.max_candidates) {
         std::nth_element(
             candidates.begin(),
@@ -112,18 +120,20 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
       candidates.erase(std::unique(candidates.begin(), candidates.end()),
                        candidates.end());
 
-      // Exact Algorithm-1 weights; keep top-k above the floor.
-      auto& heap = best[i];
+      // Exact Algorithm-1 weights; keep top-k above the floor. Scoring
+      // happens in slice-owned scratch so best[i] is allocated exactly
+      // once, at its final (pruned) size.
+      scored.clear();
       for (uint32_t j : candidates) {
         const double w = similarity.Weight(*rows[i], *rows[j]);
         if (w < options.min_weight) continue;
-        heap.emplace_back(static_cast<float>(w), j);
+        scored.emplace_back(static_cast<float>(w), j);
       }
       const size_t k = static_cast<size_t>(options.k);
-      if (heap.size() > k) {
-        std::nth_element(heap.begin(),
-                         heap.begin() + static_cast<std::ptrdiff_t>(k),
-                         heap.end(),
+      if (scored.size() > k) {
+        std::nth_element(scored.begin(),
+                         scored.begin() + static_cast<std::ptrdiff_t>(k),
+                         scored.end(),
                          [](const std::pair<float, uint32_t>& a,
                             const std::pair<float, uint32_t>& b) {
                            // Weight descending, equal-weight ties broken by
@@ -132,8 +142,9 @@ Result<SimilarityGraph> BuildKnnGraph(const std::vector<EntityId>& entities,
                            if (a.first != b.first) return a.first > b.first;
                            return a.second < b.second;
                          });
-        heap.resize(k);
+        scored.resize(k);
       }
+      best[i].assign(scored.begin(), scored.end());
     }
   });
 

@@ -52,7 +52,8 @@ Result<PropagationResult> PropagateLabels(
           next[i] = score[i];
           continue;
         }
-        double weighted = 0.0, total = 0.0;
+        double weighted = 0.0;
+        double total = 0.0;
         for (const auto& [j, w] : graph.adjacency[i]) {
           weighted += static_cast<double>(w) * score[j];
           total += w;

@@ -65,6 +65,10 @@ Result<LogisticRegression> LogisticRegression::Train(
         auto& sg = slice_grad[slice];
         auto& st = slice_touched[slice];
         st.clear();
+        // Worst case every feature of the slice is touched; reserving the
+        // dense-gradient width keeps the inner loop allocation-free (the
+        // capacity is retained across batches by clear()).
+        st.reserve(sg.size());
         double gb = 0.0;
         for (size_t k = s_begin; k < s_end; ++k) {
           const Example& ex = data.examples[perm[start + k]];

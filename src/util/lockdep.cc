@@ -103,8 +103,11 @@ bool ReachableLocked(int from, int to) {
 }  // namespace
 
 ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  // acq_rel: publish the new handler to reporting threads and observe any
+  // state the previous handler's installer published before the swap.
   return g_handler.exchange(handler != nullptr ? handler
-                                               : &DefaultViolationHandler);
+                                               : &DefaultViolationHandler,
+                            std::memory_order_acq_rel);
 }
 
 #ifndef NDEBUG

@@ -1,0 +1,238 @@
+// Unit tests for the tools/analysis/ symbol/field model that backs cmrace:
+// capture-list classification, class/field extraction with CM_GUARDED_BY
+// cross-referencing, declaration classification, lock-scope discovery, and
+// suppression-marker parsing. The model is token-level by design; these
+// tests pin the conventions it must understand in this codebase's style.
+
+#include <string>
+#include <vector>
+
+#include "analysis/source.h"
+#include "analysis/symbols.h"
+#include "analysis/text.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using analysis::CaptureList;
+using analysis::CaptureMode;
+using analysis::ClassInfo;
+using analysis::DeclClass;
+using analysis::LockScope;
+using analysis::SourceFile;
+
+SourceFile MakeFile(const std::string& text) {
+  SourceFile file;
+  file.rel = "src/t.cc";
+  file.stripped_text = analysis::StripCommentsAndStrings(text);
+  file.raw_lines = analysis::SplitLines(text);
+  return file;
+}
+
+// ---- ParseCaptureList ------------------------------------------------------
+
+TEST(CaptureListTest, DefaultByRefAndExplicitCaptures) {
+  const std::string text = "[&, total, &out, this](size_t i) {}";
+  CaptureList caps;
+  size_t end = 0;
+  ASSERT_TRUE(analysis::ParseCaptureList(text, 0, &caps, &end));
+  EXPECT_TRUE(caps.default_by_ref);
+  EXPECT_EQ(caps.ModeOf("total"), CaptureMode::kByValue);
+  EXPECT_EQ(caps.ModeOf("out"), CaptureMode::kByRef);
+  EXPECT_EQ(caps.ModeOf("this"), CaptureMode::kByRef);
+  EXPECT_EQ(caps.ModeOf("other"), CaptureMode::kByRef);  // via [&]
+}
+
+TEST(CaptureListTest, DefaultByValueAndStarThis) {
+  const std::string text = "[=, *this](int x) {}";
+  CaptureList caps;
+  size_t end = 0;
+  ASSERT_TRUE(analysis::ParseCaptureList(text, 0, &caps, &end));
+  EXPECT_TRUE(caps.default_by_value);
+  EXPECT_EQ(caps.ModeOf("this"), CaptureMode::kByValue);
+  EXPECT_EQ(caps.ModeOf("anything"), CaptureMode::kByValue);
+}
+
+TEST(CaptureListTest, InitCaptureBindsTheIntroducedName) {
+  const std::string text = "[n = items.size(), &dst = out](size_t) {}";
+  CaptureList caps;
+  size_t end = 0;
+  ASSERT_TRUE(analysis::ParseCaptureList(text, 0, &caps, &end));
+  EXPECT_EQ(caps.ModeOf("n"), CaptureMode::kByValue);
+  EXPECT_EQ(caps.ModeOf("dst"), CaptureMode::kByRef);
+  EXPECT_EQ(caps.ModeOf("items"), CaptureMode::kNone);
+}
+
+TEST(CaptureListTest, SubscriptAndAttributeAreNotIntroducers) {
+  CaptureList caps;
+  size_t end = 0;
+  const std::string subscript = "xs[i] = 0;";
+  EXPECT_FALSE(analysis::ParseCaptureList(subscript, 2, &caps, &end));
+  const std::string attribute = "[[nodiscard]] int F();";
+  EXPECT_FALSE(analysis::ParseCaptureList(attribute, 0, &caps, &end));
+}
+
+// ---- CollectClasses / field extraction -------------------------------------
+
+TEST(CollectClassesTest, FieldsCarryTypeFlagsAndGuards) {
+  const SourceFile file = MakeFile(
+      "class Server {\n"
+      " public:\n"
+      "  void Start();\n"
+      "\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  std::unique_ptr<Mutex> stats_mu_;\n"
+      "  std::vector<double> lat_ CM_GUARDED_BY(*stats_mu_);\n"
+      "  std::atomic<long> hits_{0};\n"
+      "  const int limit_ = 8;\n"
+      "  static int instances_;\n"
+      "  int epoch_ = 0;\n"
+      "};\n");
+  const std::vector<ClassInfo> classes = analysis::CollectClasses(file);
+  ASSERT_EQ(classes.size(), 1u);
+  const ClassInfo& cls = classes[0];
+  EXPECT_EQ(cls.name, "Server");
+  EXPECT_TRUE(cls.OwnsMutex());
+  const std::vector<std::string> mutexes = cls.MutexFieldNames();
+  ASSERT_EQ(mutexes.size(), 2u);
+  EXPECT_EQ(mutexes[0], "mu_");
+  EXPECT_EQ(mutexes[1], "stats_mu_");
+
+  ASSERT_NE(cls.FindField("lat_"), nullptr);
+  EXPECT_EQ(cls.FindField("lat_")->guarded_by, "*stats_mu_");
+  ASSERT_NE(cls.FindField("hits_"), nullptr);
+  EXPECT_TRUE(cls.FindField("hits_")->is_atomic);
+  ASSERT_NE(cls.FindField("limit_"), nullptr);
+  EXPECT_TRUE(cls.FindField("limit_")->is_const);
+  ASSERT_NE(cls.FindField("instances_"), nullptr);
+  EXPECT_TRUE(cls.FindField("instances_")->is_static);
+  ASSERT_NE(cls.FindField("epoch_"), nullptr);
+  EXPECT_TRUE(cls.FindField("epoch_")->guarded_by.empty());
+  EXPECT_EQ(cls.FindField("Start"), nullptr);  // methods are not fields
+}
+
+TEST(CollectClassesTest, InlineMethodsAndDeclAnnotationsAreIndexed) {
+  const SourceFile file = MakeFile(
+      "struct Counter {\n"
+      "  void Bump() CM_REQUIRES(mu_) { ++n_; }\n"
+      "  void Reset() CM_LOCKS_EXCLUDED(mu_);\n"
+      "  Mutex mu_;\n"
+      "  int n_ CM_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  const std::vector<ClassInfo> classes = analysis::CollectClasses(file);
+  ASSERT_EQ(classes.size(), 1u);
+  const ClassInfo& cls = classes[0];
+  ASSERT_EQ(cls.methods.size(), 1u);
+  EXPECT_EQ(cls.methods[0].name, "Bump");
+  EXPECT_NE(cls.methods[0].annotations.find("CM_REQUIRES"),
+            std::string::npos);
+  ASSERT_EQ(cls.decl_annotations.count("Reset"), 1u);
+  EXPECT_NE(cls.decl_annotations.at("Reset").find("CM_LOCKS_EXCLUDED"),
+            std::string::npos);
+}
+
+TEST(CollectOutOfLineMethodsTest, FindsBodiesForNamedOwnersOnly) {
+  const SourceFile file = MakeFile(
+      "void Cache::Tick() {\n"
+      "  n_ += 1;\n"
+      "}\n"
+      "void Other::Tock() {}\n"
+      "int Cache::Peek() const { return n_; }\n");
+  const std::vector<analysis::MethodInfo> methods =
+      analysis::CollectOutOfLineMethods(file, {"Cache"});
+  ASSERT_EQ(methods.size(), 2u);
+  EXPECT_EQ(methods[0].owner, "Cache");
+  EXPECT_EQ(methods[0].name, "Tick");
+  EXPECT_EQ(methods[1].name, "Peek");
+  EXPECT_GT(methods[0].body_end, methods[0].body_begin);
+}
+
+// ---- ClassifyDeclaration ---------------------------------------------------
+
+TEST(ClassifyDeclarationTest, FlagsAtomicConstAndMutex) {
+  const std::string text =
+      "std::atomic<int> hits{0};\n"
+      "const size_t limit = 8;\n"
+      "Mutex mu;\n"
+      "double plain = 0.0;\n"
+      "std::string label(4, 'x');\n";
+  EXPECT_TRUE(analysis::ClassifyDeclaration(text, "hits").is_atomic);
+  EXPECT_TRUE(analysis::ClassifyDeclaration(text, "limit").is_const);
+  EXPECT_TRUE(analysis::ClassifyDeclaration(text, "mu").is_mutex);
+  const DeclClass plain = analysis::ClassifyDeclaration(text, "plain");
+  EXPECT_TRUE(plain.found);
+  EXPECT_FALSE(plain.is_const || plain.is_atomic || plain.is_mutex);
+  // Paren-initialized locals classify as declarations too.
+  EXPECT_TRUE(analysis::ClassifyDeclaration(text, "label").found);
+}
+
+TEST(ClassifyDeclarationTest, CallSitesAndMembersDoNotClassify) {
+  const std::string text =
+      "  Process(items);\n"
+      "  obj.items = 3;\n"
+      "  return items;\n";
+  EXPECT_FALSE(analysis::ClassifyDeclaration(text, "items").found);
+}
+
+TEST(ClassifyDeclarationTest, PointerToConstIsNotTopLevelConst) {
+  const std::string text = "const char* name = nullptr;\n";
+  const DeclClass dc = analysis::ClassifyDeclaration(text, "name");
+  ASSERT_TRUE(dc.found);
+  EXPECT_FALSE(dc.is_const);  // the pointee is const, the pointer is not
+}
+
+// ---- CollectLockScopes -----------------------------------------------------
+
+TEST(CollectLockScopesTest, ScopeRunsFromDeclToEnclosingBrace) {
+  const std::string text =
+      "void F() {\n"
+      "  before = 1;\n"
+      "  {\n"
+      "    MutexLock lock(&mu_);\n"
+      "    inside = 2;\n"
+      "  }\n"
+      "  after = 3;\n"
+      "}\n";
+  const std::vector<LockScope> scopes =
+      analysis::CollectLockScopes(text, 0, text.size());
+  ASSERT_EQ(scopes.size(), 1u);
+  EXPECT_EQ(scopes[0].mutex, "mu_");
+  const size_t inside = text.find("inside");
+  const size_t after = text.find("after");
+  EXPECT_GE(inside, scopes[0].begin);
+  EXPECT_LT(inside, scopes[0].end);
+  EXPECT_GE(after, scopes[0].end);
+}
+
+TEST(CollectLockScopesTest, SmartPointerGetResolvesToFieldName) {
+  const std::string text =
+      "void G() {\n"
+      "  MutexLock lock(stats_mu_.get());\n"
+      "  lat_.push_back(1.0);\n"
+      "}\n";
+  const std::vector<LockScope> scopes =
+      analysis::CollectLockScopes(text, 0, text.size());
+  ASSERT_EQ(scopes.size(), 1u);
+  EXPECT_EQ(scopes[0].mutex, "stats_mu_");
+}
+
+// ---- Suppression parsing ---------------------------------------------------
+
+TEST(SuppressionTest, MarkerOnLineOrLineAboveSuppresses) {
+  const SourceFile file = MakeFile(
+      "int a = 0;  // cmrace: shared-ok — joined before reads\n"
+      "// cmrace: order-ok — release pairing documented here\n"
+      "int b = 0;\n"
+      "int c = 0;\n");
+  EXPECT_TRUE(
+      analysis::HasSuppressionNear(file.raw_lines, 1, "cmrace: shared-ok"));
+  EXPECT_TRUE(
+      analysis::HasSuppressionNear(file.raw_lines, 3, "cmrace: order-ok"));
+  EXPECT_FALSE(
+      analysis::HasSuppressionNear(file.raw_lines, 4, "cmrace: order-ok"));
+  EXPECT_FALSE(
+      analysis::HasSuppressionNear(file.raw_lines, 1, "cmrace: alloc-ok"));
+}
+
+}  // namespace

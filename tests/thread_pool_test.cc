@@ -69,11 +69,13 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
 
 TEST(ThreadPoolTest, ParallelForZeroAndSingleElement) {
   ThreadPool pool(2);
-  size_t calls = 0;
-  pool.ParallelFor(0, [&calls](size_t) { ++calls; });
-  EXPECT_EQ(calls, 0u);
-  pool.ParallelFor(1, [&calls](size_t) { ++calls; });
-  EXPECT_EQ(calls, 1u);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(
+      0, [&calls](size_t) { calls.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(calls.load(), 0u);
+  pool.ParallelFor(
+      1, [&calls](size_t) { calls.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(calls.load(), 1u);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
@@ -165,6 +167,7 @@ TEST(ThreadPoolTest, MinimumOneWorker) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   int ran = 0;
+  // cmrace: shared-ok — single task; pool.Wait() below orders the write
   pool.Submit([&ran] { ran = 1; });
   pool.Wait();
   EXPECT_EQ(ran, 1);

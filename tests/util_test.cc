@@ -244,7 +244,7 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
@@ -267,7 +267,7 @@ TEST(ThreadPoolTest, NestedSubmitFromWorker) {
   std::atomic<int> counter{0};
   pool.Submit([&] {
     for (int i = 0; i < 10; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
     }
   });
   pool.Wait();
@@ -278,7 +278,7 @@ TEST(ThreadPoolTest, MinimumOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<int> counter{0};
-  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
 }

@@ -1,0 +1,136 @@
+// Lightweight C++ symbol/field model for the static-analysis tools.
+//
+// cmrace's rules need facts a single regex cannot carry: which classes own
+// a Mutex, which fields carry CM_GUARDED_BY and with which capability, what
+// a lambda's capture list says about a written name, whether a declaration
+// is const / std::atomic. This module extracts those facts from the same
+// stripped text the token rules scan — it is a token-level *model*, not a
+// parser: good enough to cross-reference names within this codebase's
+// style, and deliberately conservative where real C++ would need overload
+// or template resolution.
+
+#ifndef CROSSMODAL_TOOLS_ANALYSIS_SYMBOLS_H_
+#define CROSSMODAL_TOOLS_ANALYSIS_SYMBOLS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source.h"
+
+namespace analysis {
+
+/// One data member of a class/struct.
+struct FieldInfo {
+  std::string name;
+  std::string type;        ///< Declaration text left of the name.
+  std::string guarded_by;  ///< CM_GUARDED_BY/CM_PT_GUARDED_BY arg, or empty.
+  int line = 0;
+  bool is_atomic = false;  ///< std::atomic<...>.
+  bool is_const = false;   ///< Top-level const (const T* is not).
+  bool is_mutex = false;   ///< Mutex, or a smart pointer to one.
+  bool is_static = false;
+};
+
+/// One method with a body (inline in the class, or out-of-line).
+struct MethodInfo {
+  std::string owner;  ///< Class name.
+  std::string name;
+  std::string file;  ///< Root-relative path of the defining file.
+  int line = 0;
+  size_t body_begin = 0;  ///< Offset of '{' in the defining file's text.
+  size_t body_end = 0;    ///< Offset of the matching '}'.
+  /// Tokens between the parameter list's ')' and the body '{' (cv
+  /// qualifiers, thread-safety annotations, a constructor's init list).
+  std::string annotations;
+  bool is_structor = false;  ///< Constructor or destructor.
+};
+
+/// One class/struct definition with its fields and inline methods.
+struct ClassInfo {
+  std::string name;
+  std::string file;
+  int line = 0;
+  size_t body_begin = 0;  ///< Offset of the class body '{'.
+  size_t body_end = 0;    ///< Offset of the matching '}'.
+  std::vector<FieldInfo> fields;
+  std::vector<MethodInfo> methods;  ///< Inline definitions only.
+  /// Annotation text per method *declaration* seen in the class body (both
+  /// `;`-terminated declarations and inline definitions), keyed by name —
+  /// lets a rule see `CM_LOCKS_EXCLUDED(mu_)` on the header declaration of
+  /// an out-of-line method.
+  std::map<std::string, std::string> decl_annotations;
+
+  const FieldInfo* FindField(const std::string& field_name) const;
+  bool OwnsMutex() const;
+  std::vector<std::string> MutexFieldNames() const;
+};
+
+/// Extracts every class/struct definition (with fields and inline methods)
+/// from one file's stripped text. Nested local structs inside function
+/// bodies register too; forward declarations do not.
+std::vector<ClassInfo> CollectClasses(const SourceFile& file);
+
+/// Out-of-line method definitions `Owner::Name(...) ... { ... }` for owners
+/// in `class_names`.
+std::vector<MethodInfo> CollectOutOfLineMethods(
+    const SourceFile& file, const std::set<std::string>& class_names);
+
+/// How a lambda capture list binds one outer name.
+enum class CaptureMode {
+  kNone,     ///< Not captured (and no default).
+  kByValue,  ///< Copied: writes stay private to the closure.
+  kByRef,    ///< Aliased: writes hit the enclosing scope's object.
+};
+
+/// Parsed lambda capture list.
+struct CaptureList {
+  bool default_by_ref = false;    ///< [&...]
+  bool default_by_value = false;  ///< [=...]
+  std::map<std::string, CaptureMode> named;  ///< Explicit captures.
+
+  CaptureMode ModeOf(const std::string& name) const;
+};
+
+/// Parses the capture list whose '[' sits at `open` in `text`. Returns
+/// false when the bracket is not a lambda introducer (array subscript,
+/// attribute, designated initializer). On success `*intro_end` is the
+/// offset just past the ']'.
+bool ParseCaptureList(const std::string& text, size_t open, CaptureList* out,
+                      size_t* intro_end);
+
+/// Declaration classification of `name`, resolved by scanning every
+/// declaration-shaped line of `stripped_text`. Name-level (not scoped):
+/// when the same name is declared twice the flags are OR-ed, which keeps
+/// the consumers conservative.
+struct DeclClass {
+  bool found = false;
+  bool is_const = false;
+  bool is_atomic = false;
+  bool is_mutex = false;
+  /// Concatenated declaration prefixes (type text) of every matching
+  /// declaration, for callers that key on the spelled type.
+  std::string type;
+};
+DeclClass ClassifyDeclaration(const std::string& stripped_text,
+                              const std::string& name);
+
+/// One `MutexLock guard(<arg>);` statement and the scope it protects.
+struct LockScope {
+  std::string arg;    ///< Raw text inside the constructor parens.
+  std::string mutex;  ///< First identifier in `arg` ('&', '*', '.get()'
+                      ///< stripped) — the capability's field/variable name.
+  int line = 0;
+  size_t begin = 0;  ///< Offset just past the declaration's ';'.
+  size_t end = 0;    ///< Offset of the '}' closing the guarded scope.
+};
+
+/// Collects MutexLock scopes declared within [begin, end) of `text`.
+std::vector<LockScope> CollectLockScopes(const std::string& text,
+                                         size_t begin, size_t end);
+
+}  // namespace analysis
+
+#endif  // CROSSMODAL_TOOLS_ANALYSIS_SYMBOLS_H_

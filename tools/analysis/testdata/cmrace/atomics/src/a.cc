@@ -1,0 +1,24 @@
+// Atomic RMW ordering fixture. Never compiled; scanned as text.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+std::atomic<void*> g_slot{nullptr};
+
+void Touch() {
+  g_count.fetch_add(1);
+  void* old = g_slot.exchange(nullptr);
+  (void)old;
+  g_count.fetch_add(1, std::memory_order_seq_cst);
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  int seen = g_count.fetch_add(1, std::memory_order_acq_rel);
+  (void)seen;
+  // cmrace: order-ok — release pairing pins g_slot publication
+  g_slot.exchange(nullptr);
+  ++g_count;
+}
+
+void Swap(std::atomic<int>& flag) {
+  int expected = 0;
+  flag.compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                               std::memory_order_acquire);
+}

@@ -1,0 +1,34 @@
+// Shared-state capture fixture: mutable locals and fields captured by
+// reference into parallel lambdas. Never compiled; scanned as text.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename Fn>
+  void ParallelFor(std::size_t n, Fn fn);
+};
+
+void Run(Pool& pool, std::vector<int>& out) {
+  int total = 0;
+  std::atomic<int> hits{0};
+  const int bias = 3;
+  int scratch = 0;
+  pool.ParallelFor(out.size(), [&](std::size_t i) {
+    total += out[i] + bias;
+    hits.fetch_add(1, std::memory_order_relaxed);
+    out[i] = static_cast<int>(i);
+    // cmrace: shared-ok — joined single-threaded before any read
+    scratch += 1;
+  });
+}
+
+struct Stats {
+  Pool pool;
+  long sum = 0;
+  void Collect(const std::vector<long>& xs) {
+    pool.ParallelFor(xs.size(), [&, this](std::size_t i) {
+      sum += xs[i];
+    });
+  }
+};

@@ -1,0 +1,30 @@
+// CM_GUARDED_BY coverage fixture: annotation inference for mutex owners.
+#include <map>
+#include <string>
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+class Cache {
+ public:
+  void Put(const std::string& key, int value) {
+    MutexLock lock(&mu_);
+    entries_.emplace(key, value);
+    ++hits_;
+  }
+  void Tick();
+  void Bump();
+  void Reset() CM_REQUIRES(mu_) {
+    epoch_ = 0;
+  }
+
+ private:
+  Mutex mu_;
+  std::map<std::string, int> entries_;
+  int hits_ = 0;
+  int epoch_ = 0;
+  int annotated_ CM_GUARDED_BY(mu_) = 0;
+  int safe_ = 0;  // cmrace: guard-ok — written once before threads start
+};

@@ -1,0 +1,11 @@
+#include "cache.h"
+
+void Cache::Tick() {
+  annotated_ += 1;
+}
+
+void Cache::Bump() {
+  MutexLock lock(&mu_);
+  annotated_ += 2;
+  safe_ += 1;
+}

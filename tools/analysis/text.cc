@@ -97,6 +97,15 @@ size_t MatchingBrace(const std::string& text, size_t open) {
   return std::string::npos;
 }
 
+size_t EnclosingScopeEnd(const std::string& text, size_t from) {
+  int depth = 0;
+  for (size_t i = from; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth < 0) return i;
+  }
+  return text.size();
+}
+
 size_t MatchingParen(const std::string& text, size_t open) {
   int depth = 0;
   for (size_t i = open; i < text.size(); ++i) {

@@ -31,6 +31,11 @@ int LineOfOffset(const std::string& text, size_t offset);
 /// unbalanced.
 size_t MatchingBrace(const std::string& text, size_t open);
 
+/// End of the scope enclosing offset `from`: walks forward and returns the
+/// offset of the '}' that closes the block `from` lives in (or text.size()
+/// when `from` is at namespace/file depth).
+size_t EnclosingScopeEnd(const std::string& text, size_t from);
+
 /// Offset of the ')' matching the '(' at `open` in `text`, or npos.
 size_t MatchingParen(const std::string& text, size_t open);
 

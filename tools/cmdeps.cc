@@ -183,17 +183,6 @@ std::vector<size_t> LineOffsets(const std::string& text) {
   return offsets;
 }
 
-/// End of the scope enclosing offset `from`: walks forward and returns the
-/// offset of the '}' that closes the block `from` lives in (or text.size()).
-size_t EnclosingScopeEnd(const std::string& text, size_t from) {
-  int depth = 0;
-  for (size_t i = from; i < text.size(); ++i) {
-    if (text[i] == '{') ++depth;
-    if (text[i] == '}' && --depth < 0) return i;
-  }
-  return text.size();
-}
-
 /// True when the stripped line at index `i` begins a new statement (the
 /// previous non-blank, non-preprocessor line ended one).
 bool StartsStatement(const std::vector<std::string>& lines, size_t i) {
@@ -314,7 +303,7 @@ void CheckUncheckedStatus(const SourceFile& file,
       }
       if (!fallible) continue;
     }
-    const size_t scope_end = EnclosingScopeEnd(text, stmt_end);
+    const size_t scope_end = analysis::EnclosingScopeEnd(text, stmt_end);
     const std::string rest = text.substr(stmt_end, scope_end - stmt_end);
     const std::regex use_re("\\b" + var + "\\b");
     if (std::regex_search(rest, use_re)) continue;
@@ -395,7 +384,7 @@ void CheckBlockingUnderLock(const SourceFile& file,
     const size_t decl = static_cast<size_t>(it->position());
     const size_t stmt_end = text.find(';', decl);
     if (stmt_end == std::string::npos) continue;
-    const size_t scope_end = EnclosingScopeEnd(text, stmt_end);
+    const size_t scope_end = analysis::EnclosingScopeEnd(text, stmt_end);
     ScanLockedRegion(file, stmt_end, scope_end,
                      "MutexLock '" + std::string((*it)[1]) + "' (" + file.rel +
                          ":" +

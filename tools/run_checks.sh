@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Repo static checks: the cmlint and cmdeps self-tests, both analyzers over
-# the tree, the LAYERS spec gate, and clang-tidy when available. Registered
-# as the `run_checks` ctest test; also runnable by hand:
+# Repo static checks: the cmlint, cmdeps, and cmrace self-tests, all three
+# analyzers over the tree, the LAYERS spec gate, and clang-tidy when
+# available. Registered as the `run_checks` ctest test; also runnable by
+# hand:
 #
-#   tools/run_checks.sh <cmlint-bin> <cmdeps-bin> <repo-root> [build-dir]
+#   tools/run_checks.sh <cmlint-bin> <cmdeps-bin> <cmrace-bin> <repo-root> \
+#     [build-dir]
 #
 # Unlike a `set -e` script, every check always runs: one broken tool no
 # longer hides the results of the others. Each check's PASS/FAIL/SKIP status
@@ -15,11 +17,13 @@
 # note rather than failing, so gcc-only environments stay green.
 set -uo pipefail
 
-usage="usage: run_checks.sh <cmlint-bin> <cmdeps-bin> <repo-root> [build-dir]"
+usage="usage: run_checks.sh <cmlint-bin> <cmdeps-bin> <cmrace-bin> \
+<repo-root> [build-dir]"
 CMLINT_BIN=${1:?${usage}}
 CMDEPS_BIN=${2:?${usage}}
-ROOT=${3:?${usage}}
-BUILD_DIR=${4:-}
+CMRACE_BIN=${3:?${usage}}
+ROOT=${4:?${usage}}
+BUILD_DIR=${5:-}
 
 names=()
 results=()
@@ -54,6 +58,9 @@ run "cmdeps self-test" "${CMDEPS_BIN}" --self-test \
   --testdata "${ROOT}/tools/analysis/testdata"
 run "cmdeps LAYERS spec" "${CMDEPS_BIN}" --check-layers "${ROOT}/LAYERS"
 run "cmdeps tree" "${CMDEPS_BIN}" --root "${ROOT}"
+run "cmrace self-test" "${CMRACE_BIN}" --self-test \
+  --testdata "${ROOT}/tools/analysis/testdata"
+run "cmrace tree" "${CMRACE_BIN}" --root "${ROOT}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ -n "${BUILD_DIR}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
