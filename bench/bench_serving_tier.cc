@@ -1,0 +1,171 @@
+// Perf harness for the sharded serving tier: throughput and tail latency of
+// ShardedServer vs shard count x batch window, over a model trained by the
+// full pipeline (§2.3's serving setting; DESIGN §11).
+//
+// Arms run with real_time_batching so the batch window genuinely trades
+// per-request latency for batch occupancy. Before timing, the harness
+// checks every sharded score against direct ModelServer scoring — any
+// bitwise divergence fails the bench. Emits BENCH_serving_tier.json
+// (validated/diffed by tools/bench_compare.cc); queue capacities are sized
+// so admission control never sheds inside the timed region.
+
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "serving/batch_server.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+struct Workload {
+  std::vector<EntityId> ids;
+  std::vector<const FeatureVector*> rows;
+  size_t requests = 0;
+  size_t clients = 4;
+};
+
+/// Drives the workload with `clients` pipelining threads (each submits its
+/// slice, then waits). Returns the number of successfully served requests.
+uint64_t DriveTraffic(ShardedServer* server, const Workload& load) {
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> clients;
+  clients.reserve(load.clients);
+  for (size_t c = 0; c < load.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<Ticket> tickets;
+      for (size_t i = c; i < load.requests; i += load.clients) {
+        const size_t k = i % load.rows.size();
+        tickets.push_back(server->Submit(load.ids[k], *load.rows[k]));
+      }
+      for (Ticket& ticket : tickets) {
+        if (ticket.Wait().ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  return served.load();
+}
+
+}  // namespace
+
+int main() {
+  const int warmup = BenchWarmup();
+  const int reps = BenchReps();
+  PrintHeader("Sharded serving tier: throughput vs shards x batch window",
+              "serving-tier harness; scores must match direct ModelServer");
+
+  TaskContext ctx = SetupTask(1, 0.25 * BenchScale());
+  PipelineConfig config = DefaultConfig(ctx);
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+
+  Workload load;
+  for (const Entity& e : ctx.corpus.image_test) {
+    auto row = pipeline.store().Get(e.id);
+    if (row.ok()) {
+      load.ids.push_back(e.id);
+      load.rows.push_back(*row);
+    }
+  }
+  CM_CHECK(!load.rows.empty());
+  load.requests = std::max<size_t>(256, load.rows.size() * 2);
+  load.clients = std::max<size_t>(2, BenchThreads());
+
+  const std::shared_ptr<const CrossModalModel> model(std::move(result->model));
+  const std::vector<FeatureId>& features =
+      pipeline.selection().image_model_features;
+  auto direct = ModelServer::Create(model, &ctx.registry->schema(), features);
+  CM_CHECK(direct.ok()) << direct.status();
+  const std::vector<double> reference = direct->ScoreBatch(load.rows);
+
+  const size_t shard_arms[] = {1, 2, 4};
+  const uint64_t window_arms_us[] = {0, 200};
+
+  TablePrinter table({"shards", "window_us", "wall ms", "req/s", "p95 us",
+                      "mean batch", "identical"});
+  BenchReporter json("serving_tier");
+  bool all_identical = true;
+
+  for (const size_t shards : shard_arms) {
+    for (const uint64_t window_us : window_arms_us) {
+      ShardedServingOptions options;
+      options.num_shards = shards;
+      options.max_batch = 16;
+      options.batch_window_us = window_us;
+      options.real_time_batching = true;
+      // Roomy queues: shedding inside a timed arm would fake throughput.
+      options.queue_capacity = load.requests + 64;
+      options.route_seed = DeriveSeed(ctx.task.seed, "bench_serving");
+      auto make_server = [&] {
+        auto server = ShardedServer::Create(model, &ctx.registry->schema(),
+                                            features, options);
+        CM_CHECK(server.ok()) << server.status();
+        return std::move(*server);
+      };
+
+      // Equivalence gate + stats probe (untimed).
+      ShardedServer probe = make_server();
+      bool identical = true;
+      {
+        const auto results = probe.ScoreAll(load.ids, load.rows);
+        for (size_t i = 0; i < results.size(); ++i) {
+          CM_CHECK(results[i].ok()) << results[i].status();
+          identical = identical && results[i]->score == reference[i];
+        }
+        CM_CHECK(DriveTraffic(&probe, load) == load.requests);
+      }
+      all_identical = all_identical && identical;
+      const ShardedStats stats = probe.stats();
+      double p95_us = 0.0;
+      uint64_t batched = 0, batches = 0;
+      for (const ShardStats& s : stats.shards) {
+        p95_us = std::max(p95_us, s.latency.p95_us);
+        batches += s.batches;
+        for (size_t b = 0; b < s.batch_size_hist.size(); ++b) {
+          batched += s.batch_size_hist[b] * (b + 1);
+        }
+      }
+      const double mean_batch =
+          batches == 0
+              ? 0.0
+              : static_cast<double>(batched) / static_cast<double>(batches);
+
+      const double wall_ms = MedianWallMs(warmup, reps, [&] {
+        ShardedServer server = make_server();
+        CM_CHECK(DriveTraffic(&server, load) == load.requests);
+      });
+      const double req_per_s =
+          wall_ms > 0.0 ? 1000.0 * static_cast<double>(load.requests) / wall_ms
+                        : 0.0;
+
+      const std::string stage = "serve_s" + std::to_string(shards) + "_w" +
+                                std::to_string(window_us);
+      table.AddRow({std::to_string(shards), std::to_string(window_us),
+                    TablePrinter::Num(wall_ms, 2),
+                    TablePrinter::Num(req_per_s, 0),
+                    TablePrinter::Num(p95_us, 1),
+                    TablePrinter::Num(mean_batch, 2),
+                    identical ? "yes" : "NO"});
+      BenchStage row{stage, wall_ms, shards, load.requests, ctx.task.seed,
+                     reps};
+      row.metric = p95_us;
+      json.AddStage(row);
+    }
+  }
+
+  table.Print(std::cout);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "bench_serving_tier: FAIL — sharded scores diverged from "
+                 "direct ModelServer scoring\n");
+    return 1;
+  }
+  std::printf("\nAll sharded scores bit-identical to direct scoring.\n");
+  return json.Write() ? 0 : 1;
+}

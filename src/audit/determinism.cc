@@ -6,6 +6,7 @@
 
 #include "core/pipeline.h"
 #include "resources/registry.h"
+#include "serving/batch_server.h"
 #include "serving/model_server.h"
 #include "synth/corpus_generator.h"
 #include "util/hashing.h"
@@ -173,7 +174,12 @@ Result<StageHashes> RunStack(const DeterminismOptions& options) {
           "fault plan uses arrival-ordered down_after; such faults depend on "
           "thread interleaving and cannot pass a determinism audit");
     }
-    CM_RETURN_IF_ERROR(registry.InstallFaultLayer(options.fault_plan));
+    // The registry only knows feature services; a `serving:` entry is
+    // routed to the ShardedServer's fault hook below instead.
+    const FaultPlan registry_plan = options.fault_plan.WithoutServing();
+    if (!registry_plan.empty()) {
+      CM_RETURN_IF_ERROR(registry.InstallFaultLayer(registry_plan));
+    }
   }
 
   PipelineConfig config;
@@ -261,17 +267,59 @@ Result<StageHashes> RunStack(const DeterminismOptions& options) {
                       HashDoubles(pipeline.ScoreTestSet(*result.model)));
 
   // ---- Stage: serving (nonservable stripping included). ----------------
+  const std::shared_ptr<const CrossModalModel> model(std::move(result.model));
   CM_ASSIGN_OR_RETURN(ModelServer server,
-                      ModelServer::Create(std::move(result.model),
-                                          &registry.schema(),
+                      ModelServer::Create(model, &registry.schema(),
                                           selection.image_model_features));
+  std::vector<EntityId> test_ids;
   std::vector<const FeatureVector*> test_rows;
   for (const Entity& e : corpus.image_test) {
     auto row = pipeline.store().Get(e.id);
-    if (row.ok()) test_rows.push_back(*row);
+    if (row.ok()) {
+      test_ids.push_back(e.id);
+      test_rows.push_back(*row);
+    }
   }
-  hashes.emplace_back("served_scores",
-                      HashDoubles(server.ScoreBatch(test_rows)));
+  const std::vector<double> direct_scores = server.ScoreBatch(test_rows);
+  hashes.emplace_back("served_scores", HashDoubles(direct_scores));
+
+  // ---- Stage: sharded serving. -----------------------------------------
+  // Same rows through the micro-batching tier: every served score must be
+  // bit-identical to direct scoring, and with a `serving:` fault entry the
+  // set of failed requests must be a pure function of the plan — both
+  // checked here (equality now, purity by the run-vs-run hash).
+  ShardedServingOptions sharded_options;
+  sharded_options.num_shards = 3;
+  sharded_options.max_batch = 8;
+  // Roomy queues: admission sheds depend on thread timing and would break
+  // the audit; fault sheds are deterministic and allowed.
+  sharded_options.queue_capacity = test_rows.size() + 64;
+  CM_ASSIGN_OR_RETURN(
+      ShardedServer sharded,
+      ShardedServer::Create(model, &registry.schema(),
+                            selection.image_model_features, sharded_options,
+                            options.fault_plan));
+  const std::vector<Result<ServedScore>> sharded_results =
+      sharded.ScoreAll(test_ids, test_rows);
+  Fnv1aHasher sharded_hasher;
+  sharded_hasher.AddU64(sharded_results.size());
+  for (size_t i = 0; i < sharded_results.size(); ++i) {
+    if (sharded_results[i].ok()) {
+      const double score = sharded_results[i]->score;
+      if (score != direct_scores[i]) {
+        return Status::Internal(
+            "sharded serving diverged from direct scoring for entity " +
+            std::to_string(test_ids[i]));
+      }
+      sharded_hasher.AddByte(1);
+      sharded_hasher.AddDouble(score);
+    } else {
+      sharded_hasher.AddByte(0);
+      sharded_hasher.AddByte(static_cast<uint8_t>(
+          sharded_results[i].status().code()));
+    }
+  }
+  hashes.emplace_back("sharded_scores", sharded_hasher.digest());
 
   return hashes;
 }

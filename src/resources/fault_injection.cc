@@ -70,6 +70,23 @@ bool FaultPlan::IsScheduleDeterministic() const {
   });
 }
 
+const FaultPlan::Entry* FaultPlan::ServingEntry() const {
+  const Entry* found = nullptr;
+  for (const Entry& entry : entries) {
+    if (entry.service == kServingFaultService) found = &entry;
+  }
+  return found;
+}
+
+FaultPlan FaultPlan::WithoutServing() const {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const Entry& entry : entries) {
+    if (entry.service != kServingFaultService) plan.entries.push_back(entry);
+  }
+  return plan;
+}
+
 namespace {
 
 std::string Trim(const std::string& raw) {
@@ -281,6 +298,71 @@ Result<FeatureValue> RetryingService::Call(const Entity& entity,
     }
   }
   return last;
+}
+
+// ---- ServingFaultHook ------------------------------------------------------
+
+ServingFaultHook::ServingFaultHook(const FaultPlan::Entry& entry,
+                                   uint64_t plan_seed,
+                                   ServiceHealthCounters* counters)
+    : active_(true),
+      config_(entry.fault),
+      retry_(entry.retry),
+      serving_seed_(DeriveSeed(plan_seed, kServingFaultService)),
+      retry_seed_(DeriveSeed(DeriveSeed(plan_seed, "retry"),
+                             kServingFaultService)),
+      counters_(counters) {}
+
+ServingFaultHook ServingFaultHook::FromPlan(const FaultPlan& plan,
+                                            ServiceHealthCounters* counters) {
+  const FaultPlan::Entry* entry = plan.ServingEntry();
+  if (entry == nullptr) return ServingFaultHook();
+  return ServingFaultHook(*entry, plan.seed, counters);
+}
+
+Status ServingFaultHook::Probe(EntityId entity, int attempt) const {
+  if (!active_) return Status::OK();
+  if (counters_) counters_->Add(counters_->attempts);
+  // Mid-range down_after is order-sensitive and rejected by the serving
+  // tier at construction, so only the hard outage is modeled here.
+  if (config_.down_after == 0) {
+    if (counters_) counters_->Add(counters_->permanent_failures);
+    return Status::FailedPrecondition("serving tier is permanently down");
+  }
+  Rng rng = AttemptRng(serving_seed_, entity, attempt);
+  if (config_.timeout_rate > 0.0 && rng.Bernoulli(config_.timeout_rate)) {
+    if (counters_) counters_->Add(counters_->timeouts);
+    return Status::DeadlineExceeded("serving request timed out");
+  }
+  if (config_.transient_rate > 0.0 && rng.Bernoulli(config_.transient_rate)) {
+    if (counters_) counters_->Add(counters_->transient_failures);
+    return Status::Unavailable("serving request failed transiently");
+  }
+  if (counters_) {
+    counters_->Add(counters_->successes);
+    if (config_.latency_us > 0) {
+      counters_->Add(counters_->simulated_latency_us, config_.latency_us);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t ServingFaultHook::AccountRetryBackoff(EntityId entity,
+                                               int attempt) const {
+  if (!active_) return 0;
+  // Same capped-exponential-with-jitter shape as RetryingService, keyed by
+  // the serving retry stream.
+  const uint64_t uncapped =
+      retry_.base_backoff_us * (1ULL << std::min(attempt, 32));
+  const uint64_t capped = std::min(uncapped, retry_.max_backoff_us);
+  Rng rng(DeriveSeed(DeriveSeed(retry_seed_, entity),
+                     static_cast<uint64_t>(attempt) + 1));
+  const uint64_t backoff = capped / 2 + rng.UniformInt(capped / 2 + 1);
+  if (counters_) {
+    counters_->Add(counters_->retries);
+    counters_->Add(counters_->backoff_us, backoff);
+  }
+  return backoff;
 }
 
 }  // namespace crossmodal

@@ -139,6 +139,13 @@ class ServiceHealthCounters {
   void Reset();
 };
 
+/// Reserved FaultPlan target naming the serving tier (ShardedServer's
+/// request path) instead of a registry feature service. Only an *exact*
+/// `serving:` entry reaches the serving hook — the `*` wildcard keeps its
+/// original meaning of "every feature service" so existing plans do not
+/// silently start faulting the serving path.
+inline constexpr char kServingFaultService[] = "serving";
+
 /// Which services a fault campaign hits and how. Parsed from the
 /// `--fault-plan` CLI spec:
 ///
@@ -150,7 +157,9 @@ class ServiceHealthCounters {
 ///            | "attempts=" INT | "backoff_us=" U64 | "max_backoff_us=" U64
 ///
 /// e.g. "*:transient=0.1;topic_primary:down;kg_entities:timeout=0.3,attempts=4".
-/// For each service the *last* matching entry wins.
+/// For each service the *last* matching entry wins. The reserved service
+/// name "serving" addresses the serving tier (see kServingFaultService);
+/// pass WithoutServing() to ResourceRegistry::InstallFaultLayer.
 struct FaultPlan {
   struct Entry {
     std::string service;  ///< Exact service name, or "*" for all.
@@ -174,6 +183,15 @@ struct FaultPlan {
   /// down_after counter. Only such plans may be used under parallel feature
   /// generation / the determinism audit.
   bool IsScheduleDeterministic() const;
+
+  /// Last entry whose service is exactly kServingFaultService, or nullptr.
+  /// (The "*" wildcard does not reach the serving tier.)
+  const Entry* ServingEntry() const;
+
+  /// The plan minus every serving-tier entry: what the feature-service
+  /// registry should install (it would reject the reserved name as an
+  /// unknown service).
+  FaultPlan WithoutServing() const;
 
   /// Parses the CLI spec above; an empty string yields an empty plan.
   [[nodiscard]] static Result<FaultPlan> Parse(const std::string& spec);
@@ -234,6 +252,53 @@ class RetryingService : public FeatureService {
   RetryPolicy policy_;
   uint64_t retry_seed_;  // DeriveSeed(fault_seed, "retry/<service name>")
   ServiceHealthCounters* counters_;
+};
+
+/// Deterministic fault source for the serving tier (the ROADMAP's "extend
+/// injection to the serving path" item). Unlike the service decorators it
+/// wraps no upstream: the serving tier probes it before scoring a request,
+/// retries transient verdicts with the entry's RetryPolicy (backoff
+/// accounted, never slept), and sheds the request when the budget runs out.
+/// Every verdict is a pure function of (plan seed, entity id, attempt), so
+/// which requests fail is independent of shard count, batch boundaries, and
+/// thread interleaving — the determinism audit runs with the hook active.
+class ServingFaultHook {
+ public:
+  /// Inactive hook: Probe always returns OK.
+  ServingFaultHook() = default;
+
+  /// Hook configured from a plan's serving entry (see
+  /// FaultPlan::ServingEntry). `counters` may be null; when provided it must
+  /// outlive the hook and records attempts/faults/retries/backoff.
+  ServingFaultHook(const FaultPlan::Entry& entry, uint64_t plan_seed,
+                   ServiceHealthCounters* counters);
+
+  /// Builds the hook from `plan`'s serving entry; a plan without one yields
+  /// an inactive hook.
+  static ServingFaultHook FromPlan(const FaultPlan& plan,
+                                   ServiceHealthCounters* counters);
+
+  /// True when a serving entry configured this hook.
+  bool active() const { return active_; }
+
+  /// Retry policy of the configuring entry (meaningful only when active).
+  const RetryPolicy& retry() const { return retry_; }
+
+  /// Deterministic verdict for one attempt of one request: OK, Unavailable,
+  /// DeadlineExceeded, or FailedPrecondition (hard outage).
+  [[nodiscard]] Status Probe(EntityId entity, int attempt) const;
+
+  /// Accounts the deterministic backoff before retry `attempt + 1` and
+  /// returns it in microseconds (recorded, never slept).
+  uint64_t AccountRetryBackoff(EntityId entity, int attempt) const;
+
+ private:
+  bool active_ = false;
+  ServiceFaultConfig config_;
+  RetryPolicy retry_;
+  uint64_t serving_seed_ = 0;  // DeriveSeed(plan seed, "serving")
+  uint64_t retry_seed_ = 0;    // DeriveSeed(DeriveSeed(plan seed, "retry"), "serving")
+  ServiceHealthCounters* counters_ = nullptr;
 };
 
 }  // namespace crossmodal

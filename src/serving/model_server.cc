@@ -24,6 +24,13 @@ double NearestRankPercentile(const std::vector<double>& sorted, double q) {
 Result<ModelServer> ModelServer::Create(
     CrossModalModelPtr model, const FeatureSchema* schema,
     std::vector<FeatureId> serving_features, ServingOptions options) {
+  return Create(std::shared_ptr<const CrossModalModel>(std::move(model)),
+                schema, std::move(serving_features), options);
+}
+
+Result<ModelServer> ModelServer::Create(
+    std::shared_ptr<const CrossModalModel> model, const FeatureSchema* schema,
+    std::vector<FeatureId> serving_features, ServingOptions options) {
   if (model == nullptr) return Status::InvalidArgument("model is null");
   if (schema == nullptr) return Status::InvalidArgument("schema is null");
   if (options.enforce_servable) {
@@ -45,7 +52,7 @@ Result<ModelServer> ModelServer::Create(
                      options);
 }
 
-ModelServer::ModelServer(CrossModalModelPtr model,
+ModelServer::ModelServer(std::shared_ptr<const CrossModalModel> model,
                          const FeatureSchema* schema,
                          std::vector<FeatureId> serving_features,
                          ServingOptions options)
@@ -99,10 +106,19 @@ std::vector<double> ModelServer::ScoreBatch(
     const std::vector<const FeatureVector*>& rows) {
   std::vector<double> out;
   out.reserve(rows.size());
+  std::vector<double> elapsed_us;
+  elapsed_us.reserve(rows.size());
   for (const FeatureVector* row : rows) {
     CM_CHECK(row != nullptr);
-    out.push_back(Score(*row));
+    Timer timer;
+    out.push_back(ScoreInternal(*row));
+    elapsed_us.push_back(timer.ElapsedSeconds() * 1e6);
   }
+  // One acquisition for the whole batch keeps the stats lock off the
+  // per-row hot path while preserving Score's per-request latency contract.
+  MutexLock lock(stats_mu_.get());
+  latencies_us_.insert(latencies_us_.end(), elapsed_us.begin(),
+                       elapsed_us.end());
   return out;
 }
 
@@ -126,6 +142,7 @@ LatencyStats ModelServer::latency() const {
   stats.mean_us = total / static_cast<double>(sorted.size());
   stats.p50_us = NearestRankPercentile(sorted, 0.50);
   stats.p95_us = NearestRankPercentile(sorted, 0.95);
+  stats.p100_us = NearestRankPercentile(sorted, 1.0);
   stats.max_us = sorted.back();
   return stats;
 }

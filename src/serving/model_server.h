@@ -36,12 +36,13 @@ struct ServingOptions {
 };
 
 /// Request-latency summary in microseconds. Percentiles use nearest-rank
-/// semantics (see NearestRankPercentile).
+/// semantics (see NearestRankPercentile); p100 always equals max.
 struct LatencyStats {
   size_t count = 0;
   double mean_us = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
+  double p100_us = 0.0;
   double max_us = 0.0;
 };
 
@@ -68,14 +69,24 @@ class ModelServer {
                                     std::vector<FeatureId> serving_features,
                                     ServingOptions options = ServingOptions());
 
+  /// Same, but sharing an immutable fitted model — the sharded serving tier
+  /// hands one model to every shard without cloning it.
+  [[nodiscard]] static Result<ModelServer> Create(
+      std::shared_ptr<const CrossModalModel> model, const FeatureSchema* schema,
+      std::vector<FeatureId> serving_features,
+      ServingOptions options = ServingOptions());
+
   ModelServer(ModelServer&&) = default;
   ModelServer& operator=(ModelServer&&) = default;
 
   /// Scores one row (latency recorded).
   double Score(const FeatureVector& row) CM_LOCKS_EXCLUDED(stats_mu_);
 
-  /// Scores a batch in order.
-  std::vector<double> ScoreBatch(const std::vector<const FeatureVector*>& rows);
+  /// Scores a batch in order. Each row's latency is recorded individually
+  /// (same contract as Score), with one lock acquisition for the whole
+  /// batch.
+  std::vector<double> ScoreBatch(const std::vector<const FeatureVector*>& rows)
+      CM_LOCKS_EXCLUDED(stats_mu_);
 
   /// Latency summary over all requests so far.
   LatencyStats latency() const CM_LOCKS_EXCLUDED(stats_mu_);
@@ -84,12 +95,13 @@ class ModelServer {
   size_t requests() const CM_LOCKS_EXCLUDED(stats_mu_);
 
  private:
-  ModelServer(CrossModalModelPtr model, const FeatureSchema* schema,
+  ModelServer(std::shared_ptr<const CrossModalModel> model,
+              const FeatureSchema* schema,
               std::vector<FeatureId> serving_features, ServingOptions options);
 
   double ScoreInternal(const FeatureVector& row);
 
-  CrossModalModelPtr model_;
+  std::shared_ptr<const CrossModalModel> model_;
   const FeatureSchema* schema_;
   std::vector<FeatureId> serving_features_;
   std::vector<FeatureId> nonservable_;  // ids to strip from inputs

@@ -1,0 +1,40 @@
+#include "serving/shard_router.h"
+
+#include "util/random.h"
+
+namespace crossmodal {
+
+Result<ShardRouter> ShardRouter::Create(size_t num_shards,
+                                        uint64_t route_seed) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard router needs at least one shard");
+  }
+  return ShardRouter(num_shards, route_seed);
+}
+
+size_t ShardRouter::ShardOf(EntityId entity) const {
+  // DeriveSeed is the repo's avalanche hash; reducing it mod the shard count
+  // keeps assignment uniform and a pure function of (seed, entity).
+  return static_cast<size_t>(DeriveSeed(route_seed_, entity) % num_shards_);
+}
+
+Result<RebalanceReport> ShardRouter::Rebalance(
+    size_t new_num_shards, const std::vector<EntityId>& sample) {
+  if (new_num_shards == 0) {
+    return Status::InvalidArgument("shard router needs at least one shard");
+  }
+  RebalanceReport report;
+  report.old_num_shards = num_shards_;
+  report.new_num_shards = new_num_shards;
+  report.sampled = sample.size();
+  for (EntityId entity : sample) {
+    const size_t before = ShardOf(entity);
+    const size_t after =
+        static_cast<size_t>(DeriveSeed(route_seed_, entity) % new_num_shards);
+    if (before != after) ++report.moved;
+  }
+  num_shards_ = new_num_shards;
+  return report;
+}
+
+}  // namespace crossmodal

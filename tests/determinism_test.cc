@@ -139,9 +139,9 @@ TEST(DeterminismHarnessTest, AuditReportsAllStagesPass) {
   DeterminismHarness harness(options);
   auto report = harness.RunAudit();
   ASSERT_TRUE(report.ok()) << report.status();
-  ASSERT_EQ(report->stages.size(), 8u);
+  ASSERT_EQ(report->stages.size(), 9u);
   EXPECT_EQ(report->stages.front().stage, "corpus");
-  EXPECT_EQ(report->stages.back().stage, "served_scores");
+  EXPECT_EQ(report->stages.back().stage, "sharded_scores");
   for (const StageAudit& stage : report->stages) {
     EXPECT_TRUE(stage.pass()) << "stage diverged: " << stage.stage;
   }

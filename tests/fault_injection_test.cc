@@ -1,12 +1,15 @@
 // Fault-injection layer tests: FaultPlan parsing, the deterministic fault
 // schedule, retry/backoff accounting, graceful degradation through the
-// registry, and the end-to-end contract that the pipeline completes (LFs
-// abstain, coverage drops, no crash) with services permanently down.
+// registry, the end-to-end contract that the pipeline completes (LFs
+// abstain, coverage drops, no crash) with services permanently down, and
+// the serving-path hook (reserved `serving:` target): retries-then-shed
+// through ShardedServer with bit-identical surviving scores.
 
 #include "resources/fault_injection.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -14,8 +17,10 @@
 #include "core/pipeline.h"
 #include "dataflow/feature_generation.h"
 #include "resources/registry.h"
+#include "serving/batch_server.h"
 #include "synth/corpus_generator.h"
 #include "util/check.h"
+#include "util/random.h"
 
 namespace crossmodal {
 namespace {
@@ -423,6 +428,251 @@ TEST_F(FaultyRegistryTest, PipelineCompletesWithServicesPermanentlyDown) {
   // picks a different set when features are missing); the contract is only
   // that curation still covers a usable fraction of the corpus.
   EXPECT_GT(degraded.report.lf_coverage, 0.0);
+}
+
+// ---- Serving-path fault injection ------------------------------------------
+
+/// Deterministic model for serving-path tests (no trained pipeline needed).
+class ServingStubModel : public CrossModalModel {
+ public:
+  double Score(const FeatureVector& row) const override {
+    double acc = 0.0;
+    for (size_t f = 0; f < row.size(); ++f) {
+      const FeatureValue& v = row.Get(static_cast<FeatureId>(f));
+      if (!v.is_missing() && v.type() == FeatureType::kNumeric) {
+        acc += v.numeric() * static_cast<double>(f + 1);
+      }
+    }
+    return acc;
+  }
+  const char* method_name() const override { return "stub"; }
+};
+
+struct ServingWorld {
+  FeatureSchema schema;
+  std::vector<FeatureId> features;
+  std::vector<EntityId> ids;
+  std::vector<FeatureVector> rows;
+  std::vector<const FeatureVector*> ptrs;
+};
+
+ServingWorld MakeServingWorld(size_t n) {
+  ServingWorld world;
+  for (int f = 0; f < 2; ++f) {
+    FeatureDef def;
+    def.name = "num_" + std::to_string(f);
+    def.type = FeatureType::kNumeric;
+    auto id = world.schema.Add(def);
+    CM_CHECK(id.ok());
+    world.features.push_back(*id);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const EntityId id = 1000 + i;
+    world.ids.push_back(id);
+    FeatureVector row(world.schema.size());
+    Rng rng(DeriveSeed(31, id));
+    for (FeatureId f : world.features) {
+      row.Set(f, FeatureValue::Numeric(rng.Uniform(-1.0, 1.0)));
+    }
+    world.rows.push_back(std::move(row));
+  }
+  for (const auto& row : world.rows) world.ptrs.push_back(&row);
+  return world;
+}
+
+/// Mirrors ServingShard's retry loop: the verdict a request ends up with is
+/// a pure function of (plan, entity) that tests can recompute independently.
+Status ExpectedServingVerdict(const ServingFaultHook& hook, EntityId entity) {
+  if (!hook.active()) return Status::OK();
+  const int budget = std::max(1, hook.retry().max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    last = hook.Probe(entity, attempt);
+    if (last.ok()) return last;
+    const bool retryable =
+        last.code() == StatusCode::kUnavailable ||
+        last.code() == StatusCode::kDeadlineExceeded;
+    if (!retryable || attempt + 1 >= budget) break;
+  }
+  return last;
+}
+
+TEST(ServingFaultPlanTest, ServingEntryIsExactMatchOnly) {
+  // The * wildcard must NOT reach the serving tier — existing plans keep
+  // their meaning of "every feature service".
+  auto wildcard = FaultPlan::Parse("*:transient=0.5");
+  ASSERT_TRUE(wildcard.ok());
+  EXPECT_EQ(wildcard->ServingEntry(), nullptr);
+  EXPECT_FALSE(ServingFaultHook::FromPlan(*wildcard, nullptr).active());
+
+  auto plan = FaultPlan::Parse(
+      "seed=5; *:transient=0.1; serving:transient=0.2,attempts=4");
+  ASSERT_TRUE(plan.ok());
+  const FaultPlan::Entry* entry = plan->ServingEntry();
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->fault.transient_rate, 0.2);
+  EXPECT_EQ(entry->retry.max_attempts, 4);
+
+  // WithoutServing() strips exactly the serving entries and keeps the seed,
+  // so the result is installable into the registry.
+  const FaultPlan registry_plan = plan->WithoutServing();
+  EXPECT_EQ(registry_plan.seed, 5u);
+  ASSERT_EQ(registry_plan.entries.size(), 1u);
+  EXPECT_EQ(registry_plan.entries[0].service, "*");
+  EXPECT_EQ(registry_plan.ServingEntry(), nullptr);
+}
+
+TEST(ServingFaultHookTest, VerdictsArePureFunctionOfSeedEntityAttempt) {
+  auto plan =
+      FaultPlan::Parse("seed=1234; serving:transient=0.4,timeout=0.2");
+  ASSERT_TRUE(plan.ok());
+  const ServingFaultHook a = ServingFaultHook::FromPlan(*plan, nullptr);
+  const ServingFaultHook b = ServingFaultHook::FromPlan(*plan, nullptr);
+  ASSERT_TRUE(a.active());
+  bool saw_ok = false, saw_fault = false;
+  for (EntityId entity = 1; entity <= 200; ++entity) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const Status va = a.Probe(entity, attempt);
+      const Status vb = b.Probe(entity, attempt);
+      EXPECT_EQ(va.code(), vb.code());
+      // Repeat probes of the same (entity, attempt) agree — no hidden state.
+      EXPECT_EQ(a.Probe(entity, attempt).code(), va.code());
+      (va.ok() ? saw_ok : saw_fault) = true;
+      EXPECT_EQ(a.AccountRetryBackoff(entity, attempt),
+                b.AccountRetryBackoff(entity, attempt));
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_fault);
+
+  // A different plan seed yields a different fault schedule.
+  auto other = FaultPlan::Parse("seed=99; serving:transient=0.4,timeout=0.2");
+  ASSERT_TRUE(other.ok());
+  const ServingFaultHook c = ServingFaultHook::FromPlan(*other, nullptr);
+  int diverged = 0;
+  for (EntityId entity = 1; entity <= 200; ++entity) {
+    if (c.Probe(entity, 0).code() != a.Probe(entity, 0).code()) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(ServingFaultHookTest, InactiveHookAlwaysOk) {
+  const ServingFaultHook hook;
+  EXPECT_FALSE(hook.active());
+  for (EntityId entity = 1; entity <= 50; ++entity) {
+    EXPECT_TRUE(hook.Probe(entity, 0).ok());
+    EXPECT_EQ(hook.AccountRetryBackoff(entity, 0), 0u);
+  }
+}
+
+TEST(ShardedServingFaultTest, ExhaustedRetriesShedWithFullAccounting) {
+  const ServingWorld world = MakeServingWorld(60);
+  const auto model = std::make_shared<const ServingStubModel>();
+  auto plan = FaultPlan::Parse("seed=7; serving:transient=1.0,attempts=3");
+  ASSERT_TRUE(plan.ok());
+  ShardedServingOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = world.ids.size() + 8;
+  auto server = ShardedServer::Create(model, &world.schema, world.features,
+                                      options, *plan);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  const auto results = server->ScoreAll(world.ids, world.ptrs);
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.ok());
+    // Callers see retries-then-shed as kUnavailable — the same retryable
+    // code admission-control shedding uses, so upstream handling is uniform.
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  const uint64_t n = world.ids.size();
+  const ShardedStats stats = server->stats();
+  EXPECT_EQ(stats.fault_shed(), n);
+  EXPECT_EQ(stats.served(), 0u);
+  EXPECT_EQ(stats.shed(), 0u);
+
+  // Every request burned its full budget: 3 attempts, 2 retries, backoff
+  // accounted (never slept).
+  const ServiceHealth health = server->fault_health();
+  EXPECT_EQ(health.attempts, 3 * n);
+  EXPECT_EQ(health.transient_failures, 3 * n);
+  EXPECT_EQ(health.retries, 2 * n);
+  EXPECT_GT(health.backoff_us, 0u);
+  EXPECT_EQ(health.successes, 0u);
+}
+
+TEST(ShardedServingFaultTest, PartialFaultsPreserveBitIdentity) {
+  const ServingWorld world = MakeServingWorld(300);
+  const auto model = std::make_shared<const ServingStubModel>();
+  auto plan =
+      FaultPlan::Parse("seed=21; serving:transient=0.3,timeout=0.1,attempts=2");
+  ASSERT_TRUE(plan.ok());
+
+  auto direct = ModelServer::Create(model, &world.schema, world.features);
+  ASSERT_TRUE(direct.ok());
+  const std::vector<double> reference = direct->ScoreBatch(world.ptrs);
+  const ServingFaultHook oracle = ServingFaultHook::FromPlan(*plan, nullptr);
+
+  // The failure set and every surviving score must be identical across tier
+  // shapes — graceful degradation never perturbs scoring.
+  for (const size_t shards : {size_t{1}, size_t{3}}) {
+    ShardedServingOptions options;
+    options.num_shards = shards;
+    options.max_batch = 8;
+    options.queue_capacity = world.ids.size() + 8;
+    auto server = ShardedServer::Create(model, &world.schema, world.features,
+                                        options, *plan);
+    ASSERT_TRUE(server.ok());
+    const auto results = server->ScoreAll(world.ids, world.ptrs);
+    size_t failed = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const Status expected = ExpectedServingVerdict(oracle, world.ids[i]);
+      if (expected.ok()) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status();
+        EXPECT_EQ(results[i]->score, reference[i]);
+      } else {
+        ASSERT_FALSE(results[i].ok());
+        EXPECT_EQ(results[i].status().code(), expected.code());
+        ++failed;
+      }
+    }
+    // The plan actually bites, and plenty of requests survive it.
+    EXPECT_GT(failed, 0u);
+    EXPECT_LT(failed, results.size());
+    EXPECT_EQ(server->stats().fault_shed(), failed);
+  }
+}
+
+TEST(ShardedServingFaultTest, HardDownFailsEverythingWithoutRetries) {
+  const ServingWorld world = MakeServingWorld(20);
+  const auto model = std::make_shared<const ServingStubModel>();
+  auto plan = FaultPlan::Parse("serving:down,attempts=5");
+  ASSERT_TRUE(plan.ok());
+  ShardedServingOptions options;
+  options.queue_capacity = world.ids.size() + 8;
+  auto server = ShardedServer::Create(model, &world.schema, world.features,
+                                      options, *plan);
+  ASSERT_TRUE(server.ok());
+  const auto results = server->ScoreAll(world.ids, world.ptrs);
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.ok());
+    // A permanent outage is not retryable: FailedPrecondition, one attempt.
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  }
+  const ServiceHealth health = server->fault_health();
+  EXPECT_EQ(health.attempts, world.ids.size());
+  EXPECT_EQ(health.permanent_failures, world.ids.size());
+  EXPECT_EQ(health.retries, 0u);
+  EXPECT_EQ(health.backoff_us, 0u);
+}
+
+TEST(ShardedServingFaultTest, MidRangeDownAfterIsRejectedAtCreate) {
+  const ServingWorld world = MakeServingWorld(1);
+  const auto model = std::make_shared<const ServingStubModel>();
+  auto plan = FaultPlan::Parse("serving:down_after=10");
+  ASSERT_TRUE(plan.ok());
+  auto server = ShardedServer::Create(model, &world.schema, world.features,
+                                      ShardedServingOptions(), *plan);
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -14,7 +16,9 @@
 #include "labeling/label_model.h"
 #include "mining/itemset_miner.h"
 #include "ml/metrics.h"
+#include "serving/batch_server.h"
 #include "synth/corpus_generator.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace crossmodal {
@@ -285,6 +289,106 @@ TEST_P(TaskProperty, CorpusRespectsSpecAcrossTasks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTasks, TaskProperty, ::testing::Range(1, 6));
+
+// ---------- Serving-tier invariants over randomized workloads ----------------
+
+/// Deterministic stand-in model for serving properties (no training).
+class ServingStubModel : public CrossModalModel {
+ public:
+  double Score(const FeatureVector& row) const override {
+    double acc = 0.0;
+    for (size_t f = 0; f < row.size(); ++f) {
+      const FeatureValue& v = row.Get(static_cast<FeatureId>(f));
+      if (!v.is_missing() && v.type() == FeatureType::kNumeric) {
+        acc += v.numeric() * static_cast<double>(f + 1);
+      }
+    }
+    return 0.5 + 0.5 * std::sin(acc);
+  }
+  const char* method_name() const override { return "stub"; }
+};
+
+class ServingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServingProperty, OrderLatencyAndConservationInvariants) {
+  const uint64_t seed = GetParam();
+  Rng rng(DeriveSeed(seed, "serving_prop"));
+
+  FeatureSchema schema;
+  for (int f = 0; f < 3; ++f) {
+    FeatureDef def;
+    def.name = "num_" + std::to_string(f);
+    def.type = FeatureType::kNumeric;
+    CM_CHECK(schema.Add(def).ok());
+  }
+  const auto model = std::make_shared<const ServingStubModel>();
+
+  // Randomized tier shape per seed.
+  ShardedServingOptions options;
+  options.num_shards = 1 + rng.UniformInt(uint64_t{4});
+  options.max_batch = 1 + rng.UniformInt(uint64_t{8});
+  options.batch_window_us = rng.UniformInt(uint64_t{500});
+  options.queue_capacity = 16 + rng.UniformInt(uint64_t{64});
+  options.route_seed = DeriveSeed(seed, "route");
+  auto server = ShardedServer::Create(
+      model, &schema, schema.AllIds(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  const size_t n = 150 + rng.UniformInt(uint64_t{100});
+  std::vector<EntityId> ids;
+  std::vector<FeatureVector> rows;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(rng.UniformInt(uint64_t{1} << 50));
+    FeatureVector row(schema.size());
+    for (size_t f = 0; f < schema.size(); ++f) {
+      row.Set(static_cast<FeatureId>(f),
+              FeatureValue::Numeric(rng.Uniform(-2.0, 2.0)));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<const FeatureVector*> ptrs;
+  for (const auto& r : rows) ptrs.push_back(&r);
+  const auto results = server->ScoreAll(ids, ptrs);
+  ASSERT_EQ(results.size(), n);
+
+  // Batch flushing preserves the one client's submission order: the served
+  // sequence numbers on each shard are strictly increasing in submission
+  // order (batches pop from the queue front and resolve in queue order).
+  std::vector<uint64_t> last_sequence(options.num_shards, 0);
+  size_t served = 0, shed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!results[i].ok()) {
+      EXPECT_EQ(results[i].status().code(), StatusCode::kUnavailable);
+      ++shed;
+      continue;
+    }
+    ++served;
+    const ServedScore& s = *results[i];
+    ASSERT_LT(s.shard, options.num_shards);
+    EXPECT_GT(s.sequence, last_sequence[s.shard]);
+    last_sequence[s.shard] = s.sequence;
+  }
+
+  const ShardedStats stats = server->stats();
+  // Conservation: every submitted request is accounted exactly once.
+  EXPECT_EQ(stats.submitted(), n);
+  EXPECT_EQ(stats.served(), served);
+  EXPECT_EQ(stats.shed(), shed);
+  EXPECT_EQ(stats.served() + stats.shed() + stats.fault_shed(),
+            stats.submitted());
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_EQ(shard.served + shard.shed + shard.fault_shed, shard.submitted);
+    // p100 is the max by construction of the nearest-rank percentile.
+    if (shard.served > 0) {
+      EXPECT_EQ(shard.latency.count, shard.served);
+      EXPECT_DOUBLE_EQ(shard.latency.p100_us, shard.latency.max_us);
+      EXPECT_LE(shard.latency.p95_us, shard.latency.p100_us);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 }  // namespace
 }  // namespace crossmodal

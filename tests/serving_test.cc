@@ -1,3 +1,4 @@
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -63,6 +64,39 @@ TEST_F(ServingTest, ServesScoresAndRecordsLatency) {
   EXPECT_GT(stats.mean_us, 0.0);
   EXPECT_LE(stats.p50_us, stats.p95_us);
   EXPECT_LE(stats.p95_us, stats.max_us);
+}
+
+TEST_F(ServingTest, ScoreBatchRecordsPerRequestLatency) {
+  // Regression pin: ScoreBatch must record one latency sample PER ROW (not
+  // one per batch), interleave correctly with single Score() calls, and
+  // p100 must equal max. An earlier batch path under-recorded, so p95/p100
+  // summarized batches instead of requests.
+  auto server = ModelServer::Create(
+      std::move(model_), &registry_->schema(),
+      pipeline_->selection().image_model_features);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::vector<const FeatureVector*> rows;
+  for (size_t i = 0; i < 64 && i < corpus_.image_test.size(); ++i) {
+    rows.push_back(*pipeline_->store().Get(corpus_.image_test[i].id));
+  }
+  ASSERT_GE(rows.size(), 3u);
+
+  const std::vector<double> batched = server->ScoreBatch(rows);
+  EXPECT_EQ(server->latency().count, rows.size());
+  EXPECT_EQ(server->requests(), rows.size());
+
+  // A second batch and a lone request keep accumulating per-request samples.
+  (void)server->ScoreBatch({rows[0], rows[1]});
+  (void)server->Score(*rows[2]);
+  const LatencyStats stats = server->latency();
+  EXPECT_EQ(stats.count, rows.size() + 3);
+  EXPECT_EQ(server->requests(), rows.size() + 3);
+  EXPECT_GT(stats.mean_us, 0.0);
+  EXPECT_EQ(stats.p100_us, stats.max_us);
+  EXPECT_LE(stats.p95_us, stats.p100_us);
+
+  // Batched scoring is the same computation as single scoring.
+  EXPECT_EQ(server->Score(*rows[0]), batched[0]);
 }
 
 TEST_F(ServingTest, RejectsNonservableFeatures) {
@@ -145,7 +179,13 @@ TEST_F(ServingTest, ConcurrentScoringIsThreadSafe) {
 }
 
 TEST_F(ServingTest, CreateValidatesArguments) {
-  EXPECT_EQ(ModelServer::Create(nullptr, &registry_->schema(), {})
+  // Both Create overloads (owning and shared model) reject a null model.
+  EXPECT_EQ(ModelServer::Create(CrossModalModelPtr(), &registry_->schema(), {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ModelServer::Create(std::shared_ptr<const CrossModalModel>(),
+                                &registry_->schema(), {})
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);

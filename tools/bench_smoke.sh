@@ -5,18 +5,23 @@
 # the JSON pipeline (emit -> parse -> gate) works end to end without paying
 # for a full benchmark run. When an availability-sweep binary is passed as
 # the 4th argument, also runs a two-point fault-injection sweep at tiny
-# scale and validates its metric-carrying JSON. Registered as the
-# `bench_smoke` ctest test:
+# scale and validates its metric-carrying JSON. A serving-tier binary as the
+# 5th argument runs the sharded-serving bench at tiny scale (its internal
+# bit-identity gate doubles as an equivalence check) and validates
+# BENCH_serving_tier.json the same way. Registered as the `bench_smoke`
+# ctest test:
 #
 #   tools/bench_smoke.sh <bench_micro_substrates-binary> \
-#       <bench_compare-binary> <output-dir> [<bench_availability-binary>]
+#       <bench_compare-binary> <output-dir> [<bench_availability-binary>] \
+#       [<bench_serving_tier-binary>]
 set -euo pipefail
 
-USAGE="usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir> [<avail-binary>]"
+USAGE="usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir> [<avail-binary>] [<serving-binary>]"
 BENCH_BIN=${1:?${USAGE}}
 COMPARE_BIN=${2:?${USAGE}}
 OUT_DIR=${3:?${USAGE}}
 AVAIL_BIN=${4:-}
+SERVING_BIN=${5:-}
 
 JSON="${OUT_DIR}/BENCH_micro_substrates.json"
 rm -f "${JSON}"
@@ -48,6 +53,20 @@ if [[ -n "${AVAIL_BIN}" ]]; then
   echo "== bench_compare --validate (availability sweep) =="
   "${COMPARE_BIN}" --validate "${AVAIL_JSON}"
   "${COMPARE_BIN}" "${AVAIL_JSON}" "${AVAIL_JSON}"
+fi
+
+if [[ -n "${SERVING_BIN}" ]]; then
+  # Sharded serving tier at tiny scale: the binary itself fails if any
+  # sharded score diverges bitwise from direct ModelServer scoring, so this
+  # smoke run is both a JSON-schema check and an equivalence gate.
+  SERVING_JSON="${OUT_DIR}/BENCH_serving_tier.json"
+  rm -f "${SERVING_JSON}"
+  echo "== serving tier (scale 0.1, 2 reps) =="
+  CM_BENCH_JSON_DIR="${OUT_DIR}" CM_BENCH_SCALE=0.1 \
+    CM_BENCH_REPS=2 CM_BENCH_WARMUP=0 "${SERVING_BIN}"
+  echo "== bench_compare --validate (serving tier) =="
+  "${COMPARE_BIN}" --validate "${SERVING_JSON}"
+  "${COMPARE_BIN}" "${SERVING_JSON}" "${SERVING_JSON}"
 fi
 
 echo "bench_smoke: OK"

@@ -9,14 +9,22 @@
 //                                                (writes the test PR curve
 //                                                when --out is given)
 //   audit     --task N [--scale F]               resource-quality audit
+//   serve     --task N [--scale F]               train, then drive synthetic
+//                                                client traffic through the
+//                                                sharded serving tier and
+//                                                print the shard table
 //
 // Everything is deterministic; --seed overrides the task preset's seed.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/baselines.h"
 #include "core/evaluation.h"
@@ -24,10 +32,12 @@
 #include "io/artifacts.h"
 #include "resources/fault_injection.h"
 #include "resources/validation.h"
+#include "serving/batch_server.h"
 #include "synth/corpus_generator.h"
 #include "util/logging.h"
 #include "util/parse_number.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 
 using namespace crossmodal;
 
@@ -40,12 +50,22 @@ struct Args {
   uint64_t seed = 0;  // 0 = task preset default
   std::string out;
   FaultPlan fault_plan;  ///< Empty = healthy services.
+  // serve subcommand:
+  size_t shards = 4;
+  size_t clients = 4;
+  size_t requests = 2000;
+  size_t max_batch = 16;
+  uint64_t batch_window_us = 200;
+  size_t queue_capacity = 256;
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: cmctl <generate|curate|run|audit> --task N "
-               "[--scale F] [--seed S] [--out DIR] [--fault-plan SPEC]\n");
+               "usage: cmctl <generate|curate|run|audit|serve> --task N "
+               "[--scale F] [--seed S] [--out DIR] [--fault-plan SPEC]\n"
+               "       serve also takes [--shards N] [--clients N] "
+               "[--requests N] [--max-batch N] [--batch-window-us U] "
+               "[--queue-capacity N]\n");
 }
 
 /// Parses `value` with the checked helper `parse`, or fails with a usage
@@ -93,6 +113,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->fault_plan = std::move(*plan);
+    } else if (flag == "--shards") {
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->shards)) {
+        return false;
+      }
+    } else if (flag == "--clients") {
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->clients)) {
+        return false;
+      }
+    } else if (flag == "--requests") {
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->requests)) {
+        return false;
+      }
+    } else if (flag == "--max-batch") {
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->max_batch)) {
+        return false;
+      }
+    } else if (flag == "--batch-window-us") {
+      if (!ParseFlagValue(flag, value, ParseUint64,
+                          &args->batch_window_us)) {
+        return false;
+      }
+    } else if (flag == "--queue-capacity") {
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->queue_capacity)) {
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -121,7 +166,12 @@ World MakeWorld(const Args& args) {
   world.registry =
       std::make_unique<ResourceRegistry>(std::move(registry).value());
   if (!args.fault_plan.empty()) {
-    CM_CHECK_OK(world.registry->InstallFaultLayer(args.fault_plan));
+    // The registry rejects the reserved `serving:` target; those entries
+    // are consumed by the ShardedServer fault hook in `serve`.
+    const FaultPlan registry_plan = args.fault_plan.WithoutServing();
+    if (!registry_plan.empty()) {
+      CM_CHECK_OK(world.registry->InstallFaultLayer(registry_plan));
+    }
     std::printf("fault plan active (%zu directive%s, seed %llu)\n",
                 args.fault_plan.entries.size(),
                 args.fault_plan.entries.size() == 1 ? "" : "s",
@@ -268,6 +318,110 @@ int CmdAudit(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  const World world = MakeWorld(args);
+  CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
+                              MakeConfig(world));
+  auto result = pipeline.Run();
+  CM_CHECK(result.ok()) << result.status();
+
+  std::vector<EntityId> ids;
+  std::vector<const FeatureVector*> rows;
+  for (const Entity& e : world.corpus.image_test) {
+    auto row = pipeline.store().Get(e.id);
+    if (row.ok()) {
+      ids.push_back(e.id);
+      rows.push_back(*row);
+    }
+  }
+  CM_CHECK(!rows.empty());
+
+  ShardedServingOptions options;
+  options.num_shards = args.shards;
+  options.max_batch = args.max_batch;
+  options.batch_window_us = args.batch_window_us;
+  options.queue_capacity = args.queue_capacity;
+  options.route_seed = DeriveSeed(world.task.seed, "serve");
+  const std::shared_ptr<const CrossModalModel> model(
+      std::move(result->model));
+  auto server = ShardedServer::Create(model, &world.registry->schema(),
+                                      pipeline.selection().image_model_features,
+                                      options, args.fault_plan);
+  CM_CHECK(server.ok()) << server.status();
+
+  // Synthetic traffic: each client pipelines its slice of the request
+  // stream (submit everything, then wait), so batches actually fill and
+  // backpressure is visible when the queues are undersized.
+  const size_t n_clients = std::max<size_t>(1, args.clients);
+  std::atomic<uint64_t> served{0}, shed{0}, faulted{0};
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  for (size_t c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<Ticket> tickets;
+      for (size_t i = c; i < args.requests; i += n_clients) {
+        const size_t k = i % rows.size();
+        tickets.push_back(server->Submit(ids[k], *rows[k]));
+      }
+      for (Ticket& ticket : tickets) {
+        const Result<ServedScore> r = ticket.Wait();
+        if (r.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().code() == StatusCode::kUnavailable) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          faulted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  const ShardedStats stats = server->stats();
+  TablePrinter table({"Shard", "Submitted", "Served", "Shed", "FaultShed",
+                      "Batches", "MeanBatch", "QHighWater", "p50us", "p95us",
+                      "p100us"});
+  for (const ShardStats& s : stats.shards) {
+    uint64_t batched = 0;
+    for (size_t b = 0; b < s.batch_size_hist.size(); ++b) {
+      batched += s.batch_size_hist[b] * (b + 1);
+    }
+    const double mean_batch =
+        s.batches == 0 ? 0.0
+                       : static_cast<double>(batched) /
+                             static_cast<double>(s.batches);
+    table.AddRow({std::to_string(s.shard), std::to_string(s.submitted),
+                  std::to_string(s.served), std::to_string(s.shed),
+                  std::to_string(s.fault_shed), std::to_string(s.batches),
+                  TablePrinter::Num(mean_batch, 2),
+                  std::to_string(s.queue_high_water),
+                  TablePrinter::Num(s.latency.p50_us, 1),
+                  TablePrinter::Num(s.latency.p95_us, 1),
+                  TablePrinter::Num(s.latency.p100_us, 1)});
+  }
+  table.Print(std::cout);
+  std::printf("%zu requests over %zu clients x %zu shards in %.3fs "
+              "(%.0f req/s): %llu served, %llu shed, %llu faulted\n",
+              args.requests, n_clients, server->num_shards(), seconds,
+              seconds > 0 ? static_cast<double>(args.requests) / seconds : 0.0,
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(shed.load()),
+              static_cast<unsigned long long>(faulted.load()));
+  const ServiceHealth health = server->fault_health();
+  if (health.attempts > 0) {
+    std::printf("serving fault hook: %llu attempts, %llu transient, "
+                "%llu timeouts, %llu retries, %.1fms backoff accounted\n",
+                static_cast<unsigned long long>(health.attempts),
+                static_cast<unsigned long long>(health.transient_failures),
+                static_cast<unsigned long long>(health.timeouts),
+                static_cast<unsigned long long>(health.retries),
+                static_cast<double>(health.backoff_us) / 1000.0);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +446,7 @@ int main(int argc, char** argv) {
   }
   if (args.command == "run") return CmdRun(args);
   if (args.command == "audit") return CmdAudit(args);
+  if (args.command == "serve") return CmdServe(args);
   PrintUsage();
   return 2;
 }
