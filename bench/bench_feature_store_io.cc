@@ -1,0 +1,202 @@
+// Perf harness for feature-store persistence: TSV vs the binary columnar
+// format (io/columnar.h) on write, cold read, and warm mmap read, plus the
+// LRU response cache (resources/response_cache.h) on repeated service
+// sweeps (DESIGN §12).
+//
+// Before timing, the harness hashes the in-memory store, the TSV
+// round trip, and the columnar mmap round trip with the audit harness's
+// canonical row hash — any bitwise divergence fails the bench, so the
+// timings below are only ever reported for formats proven equivalent.
+// Emits BENCH_feature_store_io.json (validated/diffed by
+// tools/bench_compare.cc).
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "audit/determinism.h"
+#include "bench_common.h"
+#include "io/artifacts.h"
+#include "io/columnar.h"
+
+using namespace crossmodal;
+using namespace crossmodal::bench;
+
+namespace {
+
+/// Canonical (sorted) entity order for the row hashes.
+std::vector<EntityId> SortedEntities(const FeatureStore& store) {
+  std::vector<EntityId> ids;
+  ids.reserve(store.size());
+  // cmlint: unordered-ok — collected only to be sorted on the next line
+  for (const auto& [id, row] : store) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  const int warmup = BenchWarmup();
+  const int reps = BenchReps();
+  PrintHeader("Feature-store IO: TSV vs binary columnar vs mmap, cold vs "
+              "cached services",
+              "store persistence harness; all read paths must hash "
+              "bit-identically");
+
+  TaskContext ctx = SetupTask(2, 0.5 * BenchScale());
+  PipelineConfig config = DefaultConfig(ctx);
+  CrossModalPipeline pipeline(ctx.registry.get(), &ctx.corpus, config);
+  CM_CHECK_OK(pipeline.GenerateFeatureSpace());
+  const FeatureStore& store = pipeline.store();
+  const FeatureSchema& schema = ctx.registry->schema();
+  const std::vector<EntityId> order = SortedEntities(store);
+  const uint64_t store_hash = DeterminismHarness::HashFeatureRows(store, order);
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("cmbench_store_" + std::to_string(static_cast<long>(::getpid())));
+  fs::create_directories(dir);
+  const std::string tsv_path = (dir / "features.tsv").string();
+  const std::string cmc_path = (dir / "features.cmc").string();
+
+  // ---- Equivalence gate (untimed): every read path must reproduce the
+  // in-memory store bit for bit before its timing means anything.
+  CM_CHECK_OK(WriteFeatureStoreTsv(store, tsv_path));
+  CM_CHECK_OK(WriteFeatureStoreColumnar(store, cmc_path));
+  {
+    auto tsv_store = ReadFeatureStoreTsv(&schema, tsv_path);
+    CM_CHECK(tsv_store.ok()) << tsv_store.status();
+    auto reader = ColumnarReader::Open(&schema, cmc_path);
+    CM_CHECK(reader.ok()) << reader.status();
+    auto cmc_store = reader->Materialize();
+    CM_CHECK(cmc_store.ok()) << cmc_store.status();
+    const uint64_t tsv_hash =
+        DeterminismHarness::HashFeatureRows(*tsv_store, order);
+    const uint64_t cmc_hash =
+        DeterminismHarness::HashFeatureRows(*cmc_store, order);
+    if (tsv_hash != store_hash || cmc_hash != store_hash) {
+      std::fprintf(stderr,
+                   "bench_feature_store_io: FAIL — round trip diverged "
+                   "(store %016llx, tsv %016llx, columnar %016llx)\n",
+                   static_cast<unsigned long long>(store_hash),
+                   static_cast<unsigned long long>(tsv_hash),
+                   static_cast<unsigned long long>(cmc_hash));
+      return 1;
+    }
+  }
+  std::printf("All read paths hash bit-identically (%zu rows x %zu "
+              "features).\n\n",
+              store.size(), schema.size());
+
+  TablePrinter table({"stage", "wall ms", "MB", "rows/ms"});
+  BenchReporter json("feature_store_io");
+  const auto n_rows = static_cast<double>(store.size());
+  auto add = [&](const std::string& stage, double wall_ms, double bytes) {
+    table.AddRow({stage, TablePrinter::Num(wall_ms, 3),
+                  TablePrinter::Num(bytes / (1024.0 * 1024.0), 2),
+                  TablePrinter::Num(wall_ms > 0.0 ? n_rows / wall_ms : 0.0,
+                                    1)});
+    json.AddStage(BenchStage{stage, wall_ms, 1, store.size(), ctx.task.seed,
+                             reps});
+  };
+
+  // ---- Write paths.
+  const double tsv_write_ms = MedianWallMs(warmup, reps, [&] {
+    CM_CHECK_OK(WriteFeatureStoreTsv(store, tsv_path));
+  });
+  const double tsv_bytes = static_cast<double>(fs::file_size(tsv_path));
+  add("tsv_write", tsv_write_ms, tsv_bytes);
+
+  const double cmc_write_ms = MedianWallMs(warmup, reps, [&] {
+    CM_CHECK_OK(WriteFeatureStoreColumnar(store, cmc_path));
+  });
+  const double cmc_bytes = static_cast<double>(fs::file_size(cmc_path));
+  add("columnar_write", cmc_write_ms, cmc_bytes);
+
+  // ---- Read paths. TSV parses every line; columnar cold re-opens (mmap +
+  // checksum + layout validation) per iteration; the warm arm holds the
+  // mapping open and re-materializes, isolating decode from open cost.
+  const double tsv_read_ms = MedianWallMs(warmup, reps, [&] {
+    auto read = ReadFeatureStoreTsv(&schema, tsv_path);
+    CM_CHECK(read.ok()) << read.status();
+  });
+  add("tsv_read", tsv_read_ms, tsv_bytes);
+
+  const double cmc_cold_ms = MedianWallMs(warmup, reps, [&] {
+    auto reader = ColumnarReader::Open(&schema, cmc_path);
+    CM_CHECK(reader.ok()) << reader.status();
+    auto read = reader->Materialize();
+    CM_CHECK(read.ok()) << read.status();
+  });
+  add("columnar_read_cold", cmc_cold_ms, cmc_bytes);
+
+  auto warm_reader = ColumnarReader::Open(&schema, cmc_path);
+  CM_CHECK(warm_reader.ok()) << warm_reader.status();
+  const double cmc_mmap_ms = MedianWallMs(warmup, reps, [&] {
+    auto read = warm_reader->Materialize();
+    CM_CHECK(read.ok()) << read.status();
+  });
+  add("columnar_read_mmap", cmc_mmap_ms, cmc_bytes);
+
+  // ---- Response cache: one uncached sweep of every service over the test
+  // split (misses populate the LRU), then repeated sweeps served from it.
+  {
+    TaskContext cached = SetupTask(2, 0.5 * BenchScale());
+    CM_CHECK_OK(cached.registry->InstallResponseCache(
+        cached.corpus.image_test.size() * cached.registry->size() + 64));
+    auto sweep = [&] {
+      for (const Entity& e : cached.corpus.image_test) {
+        (void)cached.registry->GenerateFeatures(e);
+      }
+    };
+    Timer miss_timer;
+    sweep();
+    const double miss_ms = miss_timer.ElapsedMillis();
+    const double hit_ms = MedianWallMs(warmup, reps, sweep);
+    const ResponseCacheStats stats = cached.registry->response_cache()->Stats();
+    std::printf("response cache: %llu hits / %llu misses over the sweeps "
+                "(%zu entries)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), stats.entries);
+    CM_CHECK(stats.hits > 0 && stats.misses > 0);
+    const auto n_sweep = static_cast<double>(cached.corpus.image_test.size());
+    table.AddRow({"service_sweep_cold", TablePrinter::Num(miss_ms, 3), "-",
+                  TablePrinter::Num(miss_ms > 0.0 ? n_sweep / miss_ms : 0.0,
+                                    1)});
+    json.AddStage(BenchStage{"service_sweep_cold", miss_ms, 1,
+                             cached.corpus.image_test.size(), ctx.task.seed,
+                             1});
+    table.AddRow({"service_sweep_cached", TablePrinter::Num(hit_ms, 3), "-",
+                  TablePrinter::Num(hit_ms > 0.0 ? n_sweep / hit_ms : 0.0,
+                                    1)});
+    json.AddStage(BenchStage{"service_sweep_cached", hit_ms, 1,
+                             cached.corpus.image_test.size(), ctx.task.seed,
+                             reps});
+  }
+
+  table.Print(std::cout);
+  std::printf("\ncolumnar file is %.2fx smaller than TSV; mmap read is "
+              "%.2fx faster than TSV parse\n",
+              cmc_bytes > 0.0 ? tsv_bytes / cmc_bytes : 0.0,
+              cmc_mmap_ms > 0.0 ? tsv_read_ms / cmc_mmap_ms : 0.0);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // best-effort cleanup
+
+  // The point of the format: at any scale where TSV parse is measurable,
+  // the warm mmap read must beat it (guarded so timer-resolution noise at
+  // smoke scale cannot flake CI).
+  if (tsv_read_ms > 0.5 && cmc_mmap_ms >= tsv_read_ms) {
+    std::fprintf(stderr,
+                 "bench_feature_store_io: FAIL — mmap columnar read "
+                 "(%.3fms) did not beat TSV parse (%.3fms)\n",
+                 cmc_mmap_ms, tsv_read_ms);
+    return 1;
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -1,10 +1,17 @@
 #include "audit/determinism.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <utility>
 
 #include "core/pipeline.h"
+#include "io/artifacts.h"
+#include "io/columnar.h"
+#include "io/io_faults.h"
 #include "resources/registry.h"
 #include "serving/batch_server.h"
 #include "serving/model_server.h"
@@ -158,6 +165,15 @@ namespace {
 Result<StageHashes> RunStack(const DeterminismOptions& options) {
   StageHashes hashes;
 
+  // An `io:` entry arms the artifact IO layer for the whole run; verdicts
+  // are pure functions of (derived seed, op, basename, attempt), so both
+  // audit runs see the identical fault schedule.
+  std::unique_ptr<ScopedIoFaultInjection> io_faults;
+  if (options.fault_plan.IoEntry() != nullptr) {
+    io_faults = std::make_unique<ScopedIoFaultInjection>(
+        IoFaultConfigFromPlan(options.fault_plan));
+  }
+
   // ---- Stage: corpus synthesis. ----------------------------------------
   WorldConfig world;
   CorpusGenerator generator(world,
@@ -175,8 +191,9 @@ Result<StageHashes> RunStack(const DeterminismOptions& options) {
           "thread interleaving and cannot pass a determinism audit");
     }
     // The registry only knows feature services; a `serving:` entry is
-    // routed to the ShardedServer's fault hook below instead.
-    const FaultPlan registry_plan = options.fault_plan.WithoutServing();
+    // routed to the ShardedServer's fault hook below and an `io:` entry to
+    // the scoped injector above instead.
+    const FaultPlan registry_plan = options.fault_plan.WithoutReserved();
     if (!registry_plan.empty()) {
       CM_RETURN_IF_ERROR(registry.InstallFaultLayer(registry_plan));
     }
@@ -209,9 +226,55 @@ Result<StageHashes> RunStack(const DeterminismOptions& options) {
                             &corpus.image_labeled_pool, &corpus.image_test}) {
     for (const Entity& e : *split) all_entities.push_back(e.id);
   }
-  hashes.emplace_back("feature_store",
-                      DeterminismHarness::HashFeatureRows(pipeline.store(),
-                                                          all_entities));
+  const uint64_t store_hash =
+      DeterminismHarness::HashFeatureRows(pipeline.store(), all_entities);
+  hashes.emplace_back("feature_store", store_hash);
+
+  // ---- Stage: columnar round trip. -------------------------------------
+  // The in-memory store goes to disk as TSV and as the binary columnar
+  // format (io/columnar.h), comes back through both readers (the columnar
+  // one via mmap), and all three copies must hash bit-identically. Runs
+  // under the armed IO fault layer, so injected open failures and torn
+  // writes must be absorbed by the deterministic retry budget. Fixed
+  // basenames keep the fault schedule stable; the per-process directory
+  // keeps parallel ctest entries apart.
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path dir =
+        fs::temp_directory_path(ec) /
+        ("cmaudit_store_" + std::to_string(static_cast<long>(::getpid())));
+    if (ec) return Status::IOError("no temp directory: " + ec.message());
+    fs::create_directories(dir, ec);
+    if (ec) return Status::IOError("cannot create " + dir.string());
+    const std::string tsv_path = (dir / "audit_features.tsv").string();
+    const std::string columnar_path = (dir / "audit_features.cmc").string();
+
+    CM_RETURN_IF_ERROR(WriteFeatureStoreTsv(pipeline.store(), tsv_path));
+    CM_ASSIGN_OR_RETURN(FeatureStore tsv_store,
+                        ReadFeatureStoreTsv(&registry.schema(), tsv_path));
+    CM_RETURN_IF_ERROR(
+        WriteFeatureStoreColumnar(pipeline.store(), columnar_path));
+    CM_ASSIGN_OR_RETURN(ColumnarReader reader,
+                        ColumnarReader::Open(&registry.schema(),
+                                             columnar_path));
+    CM_ASSIGN_OR_RETURN(FeatureStore columnar_store, reader.Materialize());
+
+    const uint64_t tsv_hash =
+        DeterminismHarness::HashFeatureRows(tsv_store, all_entities);
+    const uint64_t columnar_hash =
+        DeterminismHarness::HashFeatureRows(columnar_store, all_entities);
+    if (tsv_hash != store_hash) {
+      return Status::Internal(
+          "TSV round trip diverged from the in-memory store");
+    }
+    if (columnar_hash != tsv_hash) {
+      return Status::Internal(
+          "columnar round trip diverged from the TSV path");
+    }
+    hashes.emplace_back("columnar_roundtrip", columnar_hash);
+    fs::remove_all(dir, ec);  // best-effort cleanup
+  }
 
   // ---- Stages: kNN graph + label propagation. --------------------------
   // Built standalone (the pipeline's internal graph is not exposed) over

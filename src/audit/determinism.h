@@ -5,11 +5,18 @@
 // pipeline must be a pure function of its seed: same WorldConfig/TaskSpec/
 // PipelineConfig in, bit-identical artifacts out. The harness enforces this
 // mechanically: it executes the whole stack twice from scratch — corpus
-// synthesis, feature generation, kNN graph, label propagation, the label
-// matrix, the generative label model, model training, serving — and
-// compares a canonical FNV-1a content hash of each stage's artifact between
-// the two runs. Any hash mismatch pinpoints the first nondeterministic
-// stage instead of a vague "scores differ".
+// synthesis, feature generation, the TSV/columnar store round trip, kNN
+// graph, label propagation, the label matrix, the generative label model,
+// model training, serving — and compares a canonical FNV-1a content hash of
+// each stage's artifact between the two runs. Any hash mismatch pinpoints
+// the first nondeterministic stage instead of a vague "scores differ".
+//
+// The columnar_roundtrip stage persists the generated store as TSV and as
+// the binary columnar format (io/columnar.h), reads both back (columnar via
+// mmap), and fails outright unless all three copies hash bit-identically;
+// with an `io:` fault entry the round trip additionally runs under injected
+// open failures and torn writes (io/io_faults.h), which the deterministic
+// IO retry budget must absorb.
 //
 // Model weights are not directly exposed by CrossModalModel, so the
 // trained-model stage hashes the model's scores over the held-out test set

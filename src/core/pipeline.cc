@@ -293,6 +293,8 @@ Result<PipelineResult> CrossModalPipeline::Run() {
     requests += h.requests;
     missing += h.abstains_served + h.degraded_misses;
     degraded += h.degraded_misses;
+    result.report.cache_hits += h.cache_hits;
+    result.report.cache_misses += h.cache_misses;
     if (h.degraded()) ++result.report.services_degraded;
   }
   if (requests > 0) {

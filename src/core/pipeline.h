@@ -20,6 +20,7 @@
 #include "fusion/fusion.h"
 #include "graph/knn_graph.h"
 #include "graph/label_propagation.h"
+#include "io/store_format.h"
 #include "labeling/label_model.h"
 #include "labeling/labeling_function.h"
 #include "mining/itemset_miner.h"
@@ -66,6 +67,10 @@ struct PipelineConfig {
   /// motivation; weighting solves it without a second training pass).
   bool balance_modalities = true;
   uint64_t seed = 0x5EED;
+  /// On-disk representation for persisted feature-store artifacts (cmctl
+  /// generate/curate/convert consult this; the in-memory pipeline does not
+  /// write files itself).
+  StoreFormat store_format = StoreFormat::kTsv;
   /// Worker budget for the measured hot paths (kNN graph, label
   /// propagation, model training). Overrides the per-stage ParallelConfig
   /// in curation.graph / curation.propagation / model.train; every value
@@ -111,6 +116,10 @@ struct PipelineReport {
   double feature_degraded_fraction = 0.0;
   /// Entities materialized in step A (all corpus splits).
   size_t rows_generated = 0;
+  /// Response-cache totals across all services (zero with no cache
+  /// installed; see ResourceRegistry::InstallResponseCache).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   // ---- Degradation (step B) ----
   /// LF coverage on the unlabeled new modality; drops when services are

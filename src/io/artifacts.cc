@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "io/tsv.h"
@@ -157,6 +158,32 @@ Result<FeatureSchema> ReadSchemaTsv(const std::string& path) {
     CM_ASSIGN_OR_RETURN(int64_t cardinality, ParseInt64(fields[3]));
     CM_ASSIGN_OR_RETURN(int64_t modalities, ParseInt64(fields[4]));
     CM_ASSIGN_OR_RETURN(int64_t servable, ParseInt64(fields[5]));
+    // Range-check every enum/bitmask field before the narrowing cast: a
+    // corrupt file must fail typed, not materialize an out-of-range enum.
+    if (type < 0 || type > static_cast<int64_t>(FeatureType::kEmbedding)) {
+      return Status::InvalidArgument("schema feature '" + def.name +
+                                     "': type out of range: " + fields[1]);
+    }
+    if (set < 0 || set > static_cast<int64_t>(ServiceSet::kImage)) {
+      return Status::InvalidArgument("schema feature '" + def.name +
+                                     "': set out of range: " + fields[2]);
+    }
+    if (cardinality < 0 ||
+        cardinality > std::numeric_limits<int32_t>::max()) {
+      return Status::InvalidArgument("schema feature '" + def.name +
+                                     "': cardinality out of range: " +
+                                     fields[3]);
+    }
+    if (modalities < 0 || modalities > kAllModalities) {
+      return Status::InvalidArgument("schema feature '" + def.name +
+                                     "': modalities out of range: " +
+                                     fields[4]);
+    }
+    if (servable != 0 && servable != 1) {
+      return Status::InvalidArgument("schema feature '" + def.name +
+                                     "': servable must be 0 or 1: " +
+                                     fields[5]);
+    }
     def.type = static_cast<FeatureType>(type);
     def.set = static_cast<ServiceSet>(set);
     def.cardinality = static_cast<int32_t>(cardinality);
@@ -217,6 +244,12 @@ Result<FeatureStore> ReadFeatureStoreTsv(const FeatureSchema* schema,
       return Status::InvalidArgument("bad store line: " + lines[i]);
     }
     CM_ASSIGN_OR_RETURN(int64_t entity, ParseInt64(fields[0]));
+    // A duplicate id means a corrupt or hand-merged artifact; silently
+    // keeping the last row would drop data.
+    if (store.Contains(static_cast<EntityId>(entity))) {
+      return Status::InvalidArgument("duplicate entity id in store file: " +
+                                     fields[0]);
+    }
     FeatureVector row(schema->size());
     for (size_t f = 0; f < schema->size(); ++f) {
       CM_ASSIGN_OR_RETURN(FeatureValue value,
@@ -270,14 +303,39 @@ Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
 
 Status WritePrCurveCsv(const std::vector<PrPoint>& curve,
                        const std::string& path) {
+  // Routed through the CSV helper (io/tsv.h) rather than hand-joined
+  // strings: the fields here are plain numbers today, but the writer must
+  // not silently produce unparseable CSV if that ever changes.
   std::vector<std::string> lines;
-  lines.push_back("threshold,precision,recall");
+  lines.push_back(CsvJoin({"threshold", "precision", "recall"}));
   for (const PrPoint& p : curve) {
-    lines.push_back(FormatDouble(p.threshold) + "," +
-                    FormatDouble(p.precision) + "," +
-                    FormatDouble(p.recall));
+    lines.push_back(CsvJoin({FormatDouble(p.threshold),
+                             FormatDouble(p.precision),
+                             FormatDouble(p.recall)}));
   }
   return WriteLines(path, lines);
+}
+
+Result<std::vector<PrPoint>> ReadPrCurveCsv(const std::string& path) {
+  CM_ASSIGN_OR_RETURN(auto lines, ReadLines(path));
+  if (lines.empty()) return Status::InvalidArgument("empty PR-curve file");
+  CM_ASSIGN_OR_RETURN(auto header, CsvSplit(lines[0]));
+  CM_RETURN_IF_ERROR(
+      CheckHeader(header, {"threshold", "precision", "recall"}, "PR-curve"));
+  std::vector<PrPoint> curve;
+  curve.reserve(lines.size() - 1);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    CM_ASSIGN_OR_RETURN(auto fields, CsvSplit(lines[i]));
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("bad PR-curve line: " + lines[i]);
+    }
+    PrPoint p;
+    CM_ASSIGN_OR_RETURN(p.threshold, ParseFiniteDouble(fields[0]));
+    CM_ASSIGN_OR_RETURN(p.precision, ParseFiniteDouble(fields[1]));
+    CM_ASSIGN_OR_RETURN(p.recall, ParseFiniteDouble(fields[2]));
+    curve.push_back(p);
+  }
+  return curve;
 }
 
 }  // namespace crossmodal

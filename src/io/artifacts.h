@@ -51,9 +51,14 @@ std::string EncodeFeatureValue(const FeatureValue& value);
 [[nodiscard]] Result<std::vector<ProbabilisticLabel>> ReadWeakLabelsTsv(
     const std::string& path);
 
-/// Writes a PR curve as CSV (threshold, precision, recall).
+/// Writes a PR curve as CSV (threshold, precision, recall), fields escaped
+/// by the RFC 4180 helper in io/tsv.h.
 [[nodiscard]] Status WritePrCurveCsv(const std::vector<PrPoint>& curve,
                        const std::string& path);
+
+/// Reads a curve written by WritePrCurveCsv (pins the CSV format).
+[[nodiscard]] Result<std::vector<PrPoint>> ReadPrCurveCsv(
+    const std::string& path);
 
 }  // namespace crossmodal
 

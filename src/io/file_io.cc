@@ -1,0 +1,94 @@
+#include "io/file_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/io_faults.h"
+
+namespace crossmodal {
+
+namespace {
+
+Result<std::string> ReadOnce(const std::string& path, const std::string& key,
+                             const IoFaultInjector* injector, int attempt) {
+  if (injector != nullptr) {
+    CM_RETURN_IF_ERROR(injector->CheckOpen('r', key, attempt));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return std::move(buffer).str();
+}
+
+Status WriteOnce(const std::string& path, const std::string& bytes,
+                 const std::string& key, const IoFaultInjector* injector,
+                 int attempt) {
+  if (injector != nullptr) {
+    CM_RETURN_IF_ERROR(injector->CheckOpen('w', key, attempt));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  if (injector != nullptr && injector->ShouldTearWrite(key, attempt)) {
+    // Land a prefix and report failure: the torn file stays on disk for the
+    // retry (which truncates) or for a downstream reader to choke on.
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    out.flush();
+    return Status::IOError("injected torn write: " + path);
+  }
+  if (injector != nullptr && !bytes.empty() && injector->ShouldCorrupt(key)) {
+    // Silent corruption: flip one deterministic byte and still report OK.
+    std::string damaged = bytes;
+    damaged[injector->CorruptIndex(key, damaged.size())] ^= 0x01;
+    out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+  } else {
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+bool Retryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIOError;
+}
+
+}  // namespace
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  const IoFaultInjector* injector = ActiveIoFaultInjector();
+  const int budget =
+      injector == nullptr ? 1 : std::max(1, injector->config().max_attempts);
+  const std::string key = IoFaultKey(path);
+  Result<std::string> last = Status::Internal("read loop did not run");
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    last = ReadOnce(path, key, injector, attempt);
+    if (last.ok() || !Retryable(last.status())) return last;
+    if (attempt + 1 < budget) injector->AccountRetryBackoff(key, attempt);
+  }
+  return last;
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  const IoFaultInjector* injector = ActiveIoFaultInjector();
+  const int budget =
+      injector == nullptr ? 1 : std::max(1, injector->config().max_attempts);
+  const std::string key = IoFaultKey(path);
+  Status last = Status::Internal("write loop did not run");
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    last = WriteOnce(path, bytes, key, injector, attempt);
+    if (last.ok() || !Retryable(last)) return last;
+    if (attempt + 1 < budget) injector->AccountRetryBackoff(key, attempt);
+  }
+  return last;
+}
+
+}  // namespace crossmodal

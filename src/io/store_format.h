@@ -1,0 +1,41 @@
+// StoreFormat: which on-disk representation a feature store uses.
+//
+// A tiny standalone header so layers that only pick a format (the pipeline
+// config, CLI flags) need not pull in the columnar reader/writer.
+
+#ifndef CROSSMODAL_IO_STORE_FORMAT_H_
+#define CROSSMODAL_IO_STORE_FORMAT_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace crossmodal {
+
+/// On-disk feature-store representation.
+enum class StoreFormat {
+  kTsv = 0,       ///< Line-oriented TSV (human-auditable; io/artifacts.h).
+  kColumnar = 1,  ///< Binary columnar with mmap reads (io/columnar.h).
+};
+
+inline const char* StoreFormatName(StoreFormat format) {
+  return format == StoreFormat::kColumnar ? "columnar" : "tsv";
+}
+
+/// Parses "tsv" / "columnar" (as in the --store-format flag).
+[[nodiscard]] inline Result<StoreFormat> ParseStoreFormat(
+    const std::string& text) {
+  if (text == "tsv") return StoreFormat::kTsv;
+  if (text == "columnar") return StoreFormat::kColumnar;
+  return Status::InvalidArgument("unknown store format '" + text +
+                                 "' (expected tsv|columnar)");
+}
+
+/// Conventional file extension (without dot) for a format.
+inline const char* StoreFormatExtension(StoreFormat format) {
+  return format == StoreFormat::kColumnar ? "cmc" : "tsv";
+}
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_IO_STORE_FORMAT_H_

@@ -1,7 +1,8 @@
 #include "io/tsv.h"
 
-#include <fstream>
-#include <sstream>
+#include <utility>
+
+#include "io/file_io.h"
 
 namespace crossmodal {
 
@@ -79,25 +80,100 @@ std::vector<std::string> TsvSplit(const std::string& line) {
 
 Status WriteLines(const std::string& path,
                   const std::vector<std::string>& lines) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open for writing: " + path);
+  std::string bytes;
+  size_t total = 0;
+  for (const auto& line : lines) total += line.size() + 1;
+  bytes.reserve(total);
+  for (const auto& line : lines) {
+    bytes += line;
+    bytes += '\n';
   }
-  for (const auto& line : lines) out << line << '\n';
-  out.flush();
-  if (!out.good()) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteFileBytes(path, bytes);
 }
 
 Result<std::vector<std::string>> ReadLines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IOError("cannot open for reading: " + path);
-  }
+  CM_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  // Same line semantics as std::getline: '\n'-separated, a trailing
+  // newline does not produce an empty final line.
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  std::string current;
+  for (char c : bytes) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
   return lines;
+}
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvJoin(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(fields[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;       // inside an open quoted section
+  bool was_quoted = false;   // current field started with a quote
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c != '"') {
+        current += c;
+      } else if (i + 1 < line.size() && line[i + 1] == '"') {
+        current += '"';
+        ++i;
+      } else {
+        quoted = false;
+      }
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      was_quoted = false;
+    } else if (c == '"') {
+      // A quote may only open a field; after a closing quote, only a comma
+      // (handled above) or end-of-line may follow.
+      if (!current.empty() || was_quoted) {
+        return Status::InvalidArgument("CSV: misplaced quote in: " + line);
+      }
+      quoted = true;
+      was_quoted = true;
+    } else {
+      if (was_quoted) {
+        return Status::InvalidArgument("CSV: trailing bytes after quoted "
+                                       "field in: " + line);
+      }
+      current += c;
+    }
+  }
+  if (quoted) {
+    return Status::InvalidArgument("CSV: unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
 }
 
 }  // namespace crossmodal

@@ -1,4 +1,11 @@
-// Minimal TSV reading/writing with field escaping.
+// Minimal TSV/CSV reading/writing with field escaping.
+//
+// Line IO funnels through io/file_io.h, so an installed IO fault injector
+// (io/io_faults.h) reaches every TSV artifact. The CSV helpers follow
+// RFC 4180 quoting (fields containing comma, quote, CR, or LF are
+// double-quoted with embedded quotes doubled) so CSV artifacts survive
+// arbitrary field content instead of riding unescaped through the TSV
+// writer.
 
 #ifndef CROSSMODAL_IO_TSV_H_
 #define CROSSMODAL_IO_TSV_H_
@@ -28,6 +35,17 @@ std::vector<std::string> TsvSplit(const std::string& line);
 
 /// Reads all LF-separated lines from a file (no trailing empty line).
 [[nodiscard]] Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// RFC 4180 escape: returns the field double-quoted (with embedded quotes
+/// doubled) when it contains a comma, quote, CR, or LF; verbatim otherwise.
+std::string CsvEscape(const std::string& field);
+
+/// Joins escaped fields with commas into one CSV record.
+std::string CsvJoin(const std::vector<std::string>& fields);
+
+/// Splits one CSV record into unescaped fields (inverse of CsvJoin); fails
+/// on unbalanced or misplaced quotes.
+[[nodiscard]] Result<std::vector<std::string>> CsvSplit(const std::string& line);
 
 }  // namespace crossmodal
 

@@ -38,6 +38,8 @@ ServiceHealth ServiceHealthCounters::Snapshot(std::string service_name) const {
   h.backoff_us = backoff_us.load(std::memory_order_relaxed);
   h.simulated_latency_us =
       simulated_latency_us.load(std::memory_order_relaxed);
+  h.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  h.cache_misses = cache_misses.load(std::memory_order_relaxed);
   return h;
 }
 
@@ -45,7 +47,7 @@ void ServiceHealthCounters::Reset() {
   for (auto* field :
        {&requests, &attempts, &successes, &transient_failures, &timeouts,
         &permanent_failures, &retries, &abstains_served, &degraded_misses,
-        &backoff_us, &simulated_latency_us}) {
+        &backoff_us, &simulated_latency_us, &cache_hits, &cache_misses}) {
     field->store(0, std::memory_order_relaxed);
   }
 }
@@ -85,6 +87,40 @@ FaultPlan FaultPlan::WithoutServing() const {
     if (entry.service != kServingFaultService) plan.entries.push_back(entry);
   }
   return plan;
+}
+
+const FaultPlan::Entry* FaultPlan::IoEntry() const {
+  const Entry* found = nullptr;
+  for (const Entry& entry : entries) {
+    if (entry.service == kIoFaultService) found = &entry;
+  }
+  return found;
+}
+
+FaultPlan FaultPlan::WithoutReserved() const {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const Entry& entry : entries) {
+    if (entry.service != kServingFaultService &&
+        entry.service != kIoFaultService) {
+      plan.entries.push_back(entry);
+    }
+  }
+  return plan;
+}
+
+IoFaultConfig IoFaultConfigFromPlan(const FaultPlan& plan) {
+  IoFaultConfig config;
+  const FaultPlan::Entry* entry = plan.IoEntry();
+  if (entry == nullptr) return config;
+  config.open_fail_rate = entry->fault.transient_rate;
+  config.torn_write_rate = entry->fault.torn_write_rate;
+  config.corrupt_rate = entry->fault.corrupt_rate;
+  config.max_attempts = entry->retry.max_attempts;
+  config.base_backoff_us = entry->retry.base_backoff_us;
+  config.max_backoff_us = entry->retry.max_backoff_us;
+  config.seed = DeriveSeed(plan.seed, kIoFaultService);
+  return config;
 }
 
 namespace {
@@ -131,6 +167,11 @@ Status ApplyKeyValue(const std::string& kv, FaultPlan::Entry* entry) {
   }
   if (key == "transient") {
     CM_ASSIGN_OR_RETURN(entry->fault.transient_rate, ParseFiniteDouble(value));
+  } else if (key == "torn") {
+    CM_ASSIGN_OR_RETURN(entry->fault.torn_write_rate,
+                        ParseFiniteDouble(value));
+  } else if (key == "corrupt") {
+    CM_ASSIGN_OR_RETURN(entry->fault.corrupt_rate, ParseFiniteDouble(value));
   } else if (key == "timeout") {
     CM_ASSIGN_OR_RETURN(entry->fault.timeout_rate, ParseFiniteDouble(value));
   } else if (key == "latency_us") {
@@ -151,7 +192,10 @@ Status ApplyKeyValue(const std::string& kv, FaultPlan::Entry* entry) {
     return Status::InvalidArgument("fault plan: unknown key '" + key + "'");
   }
   if (entry->fault.transient_rate < 0.0 || entry->fault.transient_rate > 1.0 ||
-      entry->fault.timeout_rate < 0.0 || entry->fault.timeout_rate > 1.0) {
+      entry->fault.timeout_rate < 0.0 || entry->fault.timeout_rate > 1.0 ||
+      entry->fault.torn_write_rate < 0.0 ||
+      entry->fault.torn_write_rate > 1.0 || entry->fault.corrupt_rate < 0.0 ||
+      entry->fault.corrupt_rate > 1.0) {
     return Status::InvalidArgument(
         "fault plan: rates must be within [0, 1]");
   }

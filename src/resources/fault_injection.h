@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "io/io_faults.h"
 #include "resources/feature_service.h"
 #include "util/result.h"
 
@@ -61,6 +62,11 @@ struct ServiceFaultConfig {
   /// Mid-range values count real arrivals and are order-sensitive — see the
   /// file comment.
   uint64_t down_after = kNeverDown;
+  /// P(one write attempt tears). Meaningful only on the reserved `io:`
+  /// target (see kIoFaultService); feature services ignore it.
+  double torn_write_rate = 0.0;
+  /// P(a surviving write silently flips one byte). `io:` target only.
+  double corrupt_rate = 0.0;
 };
 
 /// Retry/backoff policy layered over a faulty service.
@@ -89,6 +95,8 @@ struct ServiceHealth {
   uint64_t degraded_misses = 0;
   uint64_t backoff_us = 0;
   uint64_t simulated_latency_us = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   /// True if the service ever served a degraded (fault-exhausted) miss or a
   /// permanent failure.
@@ -127,6 +135,10 @@ class ServiceHealthCounters {
   std::atomic<uint64_t> backoff_us{0};
   /// Total simulated upstream latency of successful calls.
   std::atomic<uint64_t> simulated_latency_us{0};
+  /// Requests answered straight from the response cache / forwarded past it
+  /// (resources/response_cache.h; both zero with no cache installed).
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
 
   void Add(std::atomic<uint64_t>& field, uint64_t n = 1) {
     field.fetch_add(n, std::memory_order_relaxed);
@@ -146,6 +158,13 @@ class ServiceHealthCounters {
 /// silently start faulting the serving path.
 inline constexpr char kServingFaultService[] = "serving";
 
+/// Reserved FaultPlan target naming the artifact IO layer (io/io_faults.h)
+/// instead of a registry feature service. Exact-match only, like `serving:`;
+/// supports the extra keys `torn=` (torn-write rate) and `corrupt=` (silent
+/// byte-flip rate) alongside `transient=` (open-failure rate) and the
+/// retry/backoff keys.
+inline constexpr char kIoFaultService[] = "io";
+
 /// Which services a fault campaign hits and how. Parsed from the
 /// `--fault-plan` CLI spec:
 ///
@@ -155,11 +174,15 @@ inline constexpr char kServingFaultService[] = "serving";
 ///   kv      := "transient=" F | "timeout=" F | "latency_us=" U64
 ///            | "down_after=" U64 | "down"    (down_after=0, hard outage)
 ///            | "attempts=" INT | "backoff_us=" U64 | "max_backoff_us=" U64
+///            | "torn=" F | "corrupt=" F      (io: target only)
 ///
 /// e.g. "*:transient=0.1;topic_primary:down;kg_entities:timeout=0.3,attempts=4".
-/// For each service the *last* matching entry wins. The reserved service
-/// name "serving" addresses the serving tier (see kServingFaultService);
-/// pass WithoutServing() to ResourceRegistry::InstallFaultLayer.
+/// For each service the *last* matching entry wins. Two reserved service
+/// names address non-registry targets: "serving" (the serving tier, see
+/// kServingFaultService) and "io" (the artifact IO layer, see
+/// kIoFaultService). Neither is matched by "*". Pass WithoutReserved() to
+/// ResourceRegistry::InstallFaultLayer — the registry would reject either
+/// reserved name as an unknown service.
 struct FaultPlan {
   struct Entry {
     std::string service;  ///< Exact service name, or "*" for all.
@@ -193,9 +216,24 @@ struct FaultPlan {
   /// unknown service).
   FaultPlan WithoutServing() const;
 
+  /// Last entry whose service is exactly kIoFaultService, or nullptr.
+  /// (The "*" wildcard does not reach the IO layer.)
+  const Entry* IoEntry() const;
+
+  /// The plan minus every reserved-target entry (serving + io): what the
+  /// feature-service registry should install.
+  FaultPlan WithoutReserved() const;
+
   /// Parses the CLI spec above; an empty string yields an empty plan.
   [[nodiscard]] static Result<FaultPlan> Parse(const std::string& spec);
 };
+
+/// Maps a plan's `io:` entry onto the IO layer's fault config
+/// (io/io_faults.h): transient= becomes the open-failure rate, torn= /
+/// corrupt= map directly, the retry keys set the IO retry budget, and the
+/// injector seed derives from the plan seed. A plan without an io entry
+/// yields the all-zero-rate default.
+IoFaultConfig IoFaultConfigFromPlan(const FaultPlan& plan);
 
 /// Decorator injecting deterministic faults into an upstream service.
 class FaultInjectingService : public FeatureService {

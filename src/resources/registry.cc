@@ -73,6 +73,22 @@ Status ResourceRegistry::InstallFaultLayer(const FaultPlan& plan) {
   return Status::OK();
 }
 
+Status ResourceRegistry::InstallResponseCache(size_t capacity) {
+  if (response_cache_ != nullptr) {
+    return Status::FailedPrecondition("response cache already installed");
+  }
+  if (capacity == 0) {
+    return Status::InvalidArgument("cache capacity must be > 0");
+  }
+  response_cache_ = std::make_unique<ResponseCache>(capacity);
+  for (size_t i = 0; i < services_.size(); ++i) {
+    services_[i] = std::make_unique<CachingService>(
+        std::move(services_[i]), static_cast<FeatureId>(i),
+        response_cache_.get(), health_[i].get());
+  }
+  return Status::OK();
+}
+
 std::vector<ServiceHealth> ResourceRegistry::HealthSnapshot() const {
   std::vector<ServiceHealth> out;
   out.reserve(services_.size());

@@ -11,6 +11,7 @@
 #include "features/feature_vector.h"
 #include "resources/fault_injection.h"
 #include "resources/feature_service.h"
+#include "resources/response_cache.h"
 #include "synth/corpus_generator.h"
 #include "util/result.h"
 
@@ -55,6 +56,18 @@ class ResourceRegistry {
   /// True once InstallFaultLayer has wrapped the services.
   bool fault_layer_installed() const { return fault_layer_installed_; }
 
+  /// Fronts every service with a CachingService sharing one LRU
+  /// ResponseCache of `capacity` entries (resources/response_cache.h).
+  /// Install *after* any fault layer so the cache sits outermost — a hit
+  /// must skip the retry/fault machinery, not replay it. Fails on capacity
+  /// 0 or if a cache is already installed.
+  [[nodiscard]] Status InstallResponseCache(size_t capacity);
+
+  /// The shared cache, or nullptr when none is installed.
+  const ResponseCache* response_cache() const {
+    return response_cache_.get();
+  }
+
   /// Health snapshot per service, index-aligned with the schema. Counter
   /// totals are schedule-independent whenever the installed plan is (see
   /// FaultPlan::IsScheduleDeterministic).
@@ -70,6 +83,7 @@ class ResourceRegistry {
   std::vector<std::unique_ptr<ServiceHealthCounters>> health_;
   FeatureSchema schema_;
   bool fault_layer_installed_ = false;
+  std::unique_ptr<ResponseCache> response_cache_;
 };
 
 /// Builds the paper's 15-service registry (sets A/B/C/D) plus the three

@@ -1,0 +1,93 @@
+#include "resources/response_cache.h"
+
+#include "util/logging.h"
+
+namespace crossmodal {
+
+ResponseCache::ResponseCache(size_t capacity) : capacity_(capacity) {
+  CM_CHECK(capacity_ > 0);
+}
+
+bool ResponseCache::Lookup(FeatureId service, EntityId entity,
+                           FeatureValue* out) {
+  const Key key{service, entity};
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  // Move to the front (most recently used); iterators stay valid.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *out = it->second->second;
+  return true;
+}
+
+void ResponseCache::Insert(FeatureId service, EntityId entity,
+                           FeatureValue value) {
+  const Key key{service, entity};
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(value);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(key, lru_.begin());
+}
+
+ResponseCacheStats ResponseCache::Stats() const {
+  MutexLock lock(&mu_);
+  ResponseCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+CachingService::CachingService(FeatureServicePtr inner, FeatureId service_id,
+                               ResponseCache* cache,
+                               ServiceHealthCounters* counters)
+    : inner_(std::move(inner)),
+      service_id_(service_id),
+      cache_(cache),
+      counters_(counters) {}
+
+FeatureValue CachingService::Apply(const Entity& entity) const {
+  Result<FeatureValue> v = Call(entity, 0);
+  if (v.ok()) return std::move(*v);
+  if (counters_) counters_->Add(counters_->degraded_misses);
+  return FeatureValue::Missing();
+}
+
+Result<FeatureValue> CachingService::Call(const Entity& entity,
+                                          int attempt) const {
+  // Only first attempts consult the cache: retries exist to re-draw the
+  // fault schedule, which a cached answer would skip.
+  if (attempt == 0) {
+    FeatureValue cached;
+    if (cache_->Lookup(service_id_, entity.id, &cached)) {
+      if (counters_) counters_->Add(counters_->cache_hits);
+      return cached;
+    }
+  }
+  Result<FeatureValue> v = inner_->Call(entity, attempt);
+  if (attempt == 0) {
+    if (counters_) counters_->Add(counters_->cache_misses);
+    // Failures are never cached: the next request must re-exercise the
+    // retry/fault machinery rather than replay a stale error.
+    if (v.ok()) cache_->Insert(service_id_, entity.id, *v);
+  }
+  return v;
+}
+
+}  // namespace crossmodal

@@ -1,0 +1,132 @@
+// LRU cache for organizational service responses.
+//
+// The paper's feature space is recomputed every time an entity is touched;
+// production feature infrastructure fronts the (slow, flaky) upstream
+// services with a response cache instead. ResponseCache is that layer: a
+// deterministic fixed-capacity LRU keyed by (service feature id, entity
+// id), shared across every service of a registry, with CachingService as
+// the per-service decorator installed outermost (a hit skips the retry and
+// fault layers entirely — the cache-hit vs upstream-miss latency model the
+// serving stack needs).
+//
+// Determinism rules (DESIGN.md "Response cache"):
+//   * Services are pure functions of the entity, so a cached value always
+//     equals what the upstream would return — artifact bytes are identical
+//     with or without the cache, at any capacity.
+//   * Only successful first attempts are cached; failures and retry
+//     attempts (attempt > 0) always reach the upstream, so fault schedules
+//     are undisturbed.
+//   * Hit/miss/eviction *counters* are schedule-deterministic when feature
+//     generation is serial or capacity covers the working set; under
+//     parallel generation with an overflowing cache the recency order (and
+//     hence the counts, never the values) depends on interleaving.
+
+#ifndef CROSSMODAL_RESOURCES_RESPONSE_CACHE_H_
+#define CROSSMODAL_RESOURCES_RESPONSE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "features/feature_vector.h"
+#include "resources/fault_injection.h"
+#include "resources/feature_service.h"
+#include "util/mutex.h"
+
+namespace crossmodal {
+
+/// Point-in-time cache statistics.
+struct ResponseCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// Thread-safe fixed-capacity LRU of service responses. Eviction is purely
+/// recency-based: inserting into a full cache evicts the least recently
+/// used entry.
+class ResponseCache {
+ public:
+  /// `capacity` must be > 0 (checked).
+  explicit ResponseCache(size_t capacity);
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Copies the cached value for (service, entity) into `out` and marks it
+  /// most recently used; false on miss. Also counts the hit/miss.
+  bool Lookup(FeatureId service, EntityId entity, FeatureValue* out);
+
+  /// Inserts or refreshes (service, entity) as most recently used,
+  /// evicting the LRU entry when full.
+  void Insert(FeatureId service, EntityId entity, FeatureValue value);
+
+  ResponseCacheStats Stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    FeatureId service = 0;
+    EntityId entity = 0;
+    bool operator==(const Key& other) const {
+      return service == other.service && entity == other.entity;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Mix the service id into the entity id (splitmix-style constant);
+      // only distribution matters here, equality is exact.
+      return static_cast<size_t>(
+          (k.entity ^ (static_cast<uint64_t>(static_cast<uint32_t>(k.service)) *
+                       0x9E3779B97F4A7C15ULL)));
+    }
+  };
+  using LruList = std::list<std::pair<Key, FeatureValue>>;
+
+  const size_t capacity_;
+  mutable Mutex mu_{"response_cache"};
+  /// Most recently used at the front.
+  LruList lru_ CM_GUARDED_BY(mu_);
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_
+      CM_GUARDED_BY(mu_);
+  uint64_t hits_ CM_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CM_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ CM_GUARDED_BY(mu_) = 0;
+};
+
+/// Decorator serving FeatureService calls from a shared ResponseCache.
+/// Installed outermost (outside retry/fault layers): a hit answers without
+/// touching them; a miss forwards, then caches a successful first attempt.
+class CachingService : public FeatureService {
+ public:
+  /// `cache` must outlive the service; `counters` may be null and records
+  /// cache_hits / cache_misses when provided.
+  CachingService(FeatureServicePtr inner, FeatureId service_id,
+                 ResponseCache* cache,
+                 ServiceHealthCounters* counters = nullptr);
+
+  const FeatureDef& output_def() const override {
+    return inner_->output_def();
+  }
+  ResourceKind kind() const override { return inner_->kind(); }
+
+  /// Degrades an inner failure to a missing value (like the fault layer).
+  FeatureValue Apply(const Entity& entity) const override;
+
+  using FeatureService::Call;
+  [[nodiscard]] Result<FeatureValue> Call(const Entity& entity,
+                                          int attempt) const override;
+
+ private:
+  FeatureServicePtr inner_;
+  FeatureId service_id_;
+  ResponseCache* cache_;
+  ServiceHealthCounters* counters_;
+};
+
+}  // namespace crossmodal
+
+#endif  // CROSSMODAL_RESOURCES_RESPONSE_CACHE_H_

@@ -139,7 +139,7 @@ TEST(DeterminismHarnessTest, AuditReportsAllStagesPass) {
   DeterminismHarness harness(options);
   auto report = harness.RunAudit();
   ASSERT_TRUE(report.ok()) << report.status();
-  ASSERT_EQ(report->stages.size(), 9u);
+  ASSERT_EQ(report->stages.size(), 10u);
   EXPECT_EQ(report->stages.front().stage, "corpus");
   EXPECT_EQ(report->stages.back().stage, "sharded_scores");
   for (const StageAudit& stage : report->stages) {

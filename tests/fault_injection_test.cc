@@ -675,5 +675,71 @@ TEST(ShardedServingFaultTest, MidRangeDownAfterIsRejectedAtCreate) {
   EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---- Reserved io: target ---------------------------------------------------
+
+TEST(IoFaultPlanTest, IoEntryIsExactMatchOnly) {
+  auto wildcard = FaultPlan::Parse("*:transient=0.5");
+  ASSERT_TRUE(wildcard.ok());
+  EXPECT_EQ(wildcard->IoEntry(), nullptr);
+
+  auto plan = FaultPlan::Parse(
+      "seed=9; *:transient=0.1; io:transient=0.2,torn=0.3,corrupt=0.05,"
+      "attempts=6,backoff_us=10,max_backoff_us=100");
+  ASSERT_TRUE(plan.ok());
+  const FaultPlan::Entry* entry = plan->IoEntry();
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->fault.transient_rate, 0.2);
+  EXPECT_DOUBLE_EQ(entry->fault.torn_write_rate, 0.3);
+  EXPECT_DOUBLE_EQ(entry->fault.corrupt_rate, 0.05);
+}
+
+TEST(IoFaultPlanTest, LastIoEntryWinsAndRatesAreValidated) {
+  auto plan = FaultPlan::Parse("io:torn=0.1; io:torn=0.9");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_NE(plan->IoEntry(), nullptr);
+  EXPECT_DOUBLE_EQ(plan->IoEntry()->fault.torn_write_rate, 0.9);
+
+  EXPECT_FALSE(FaultPlan::Parse("io:torn=1.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("io:corrupt=-0.1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("io:torn=nan").ok());
+}
+
+TEST(IoFaultPlanTest, WithoutReservedStripsServingAndIo) {
+  auto plan = FaultPlan::Parse(
+      "seed=5; *:transient=0.1; serving:transient=0.2; io:torn=0.3");
+  ASSERT_TRUE(plan.ok());
+  const FaultPlan registry_plan = plan->WithoutReserved();
+  EXPECT_EQ(registry_plan.seed, 5u);
+  ASSERT_EQ(registry_plan.entries.size(), 1u);
+  EXPECT_EQ(registry_plan.entries[0].service, "*");
+  EXPECT_EQ(registry_plan.ServingEntry(), nullptr);
+  EXPECT_EQ(registry_plan.IoEntry(), nullptr);
+}
+
+TEST(IoFaultPlanTest, ConfigFromPlanMapsEveryKnob) {
+  auto plan = FaultPlan::Parse(
+      "seed=21; io:transient=0.25,torn=0.5,corrupt=0.125,attempts=7,"
+      "backoff_us=11,max_backoff_us=222");
+  ASSERT_TRUE(plan.ok());
+  const IoFaultConfig config = IoFaultConfigFromPlan(*plan);
+  EXPECT_DOUBLE_EQ(config.open_fail_rate, 0.25);
+  EXPECT_DOUBLE_EQ(config.torn_write_rate, 0.5);
+  EXPECT_DOUBLE_EQ(config.corrupt_rate, 0.125);
+  EXPECT_EQ(config.max_attempts, 7);
+  EXPECT_EQ(config.base_backoff_us, 11u);
+  EXPECT_EQ(config.max_backoff_us, 222u);
+  // The injector seed is derived from the plan seed, so io and service
+  // fault streams never correlate even under one plan seed.
+  EXPECT_EQ(config.seed, DeriveSeed(21, kIoFaultService));
+
+  // No io entry: the defaults come back untouched (callers gate on
+  // IoEntry() before installing anyway).
+  auto healthy = FaultPlan::Parse("*:transient=0.1");
+  ASSERT_TRUE(healthy.ok());
+  const IoFaultConfig defaults = IoFaultConfigFromPlan(*healthy);
+  EXPECT_DOUBLE_EQ(defaults.open_fail_rate, 0.0);
+  EXPECT_DOUBLE_EQ(defaults.torn_write_rate, 0.0);
+}
+
 }  // namespace
 }  // namespace crossmodal

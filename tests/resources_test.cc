@@ -4,6 +4,7 @@
 #include "resources/frame_splitter.h"
 #include "resources/noise.h"
 #include "resources/registry.h"
+#include "resources/response_cache.h"
 #include "resources/validation.h"
 #include "dataflow/feature_generation.h"
 #include "resources/topic_services.h"
@@ -365,6 +366,159 @@ TEST(ValidationTest, CorruptedServiceIsPureAndInRange) {
   for (int32_t c : a.categories()) {
     EXPECT_GE(c, 0);
     EXPECT_LT(c, 8);
+  }
+}
+
+// ---- Response cache --------------------------------------------------------
+
+TEST(ResponseCacheTest, LruEvictsLeastRecentlyUsed) {
+  ResponseCache cache(2);
+  cache.Insert(0, 1, FeatureValue::Numeric(1.0));
+  cache.Insert(0, 2, FeatureValue::Numeric(2.0));
+  FeatureValue out;
+  ASSERT_TRUE(cache.Lookup(0, 1, &out));  // refreshes (0,1): (0,2) is LRU now
+  EXPECT_EQ(out, FeatureValue::Numeric(1.0));
+  cache.Insert(0, 3, FeatureValue::Numeric(3.0));  // evicts (0,2)
+  EXPECT_FALSE(cache.Lookup(0, 2, &out));
+  EXPECT_TRUE(cache.Lookup(0, 1, &out));
+  EXPECT_TRUE(cache.Lookup(0, 3, &out));
+  EXPECT_EQ(out, FeatureValue::Numeric(3.0));
+
+  const ResponseCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST(ResponseCacheTest, KeysAreServiceEntityPairs) {
+  ResponseCache cache(8);
+  cache.Insert(0, 42, FeatureValue::Numeric(1.0));
+  cache.Insert(1, 42, FeatureValue::Numeric(2.0));  // same entity, other svc
+  FeatureValue out;
+  ASSERT_TRUE(cache.Lookup(0, 42, &out));
+  EXPECT_EQ(out, FeatureValue::Numeric(1.0));
+  ASSERT_TRUE(cache.Lookup(1, 42, &out));
+  EXPECT_EQ(out, FeatureValue::Numeric(2.0));
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(ResponseCacheTest, InsertRefreshesExistingKey) {
+  ResponseCache cache(4);
+  cache.Insert(0, 7, FeatureValue::Numeric(1.0));
+  cache.Insert(0, 7, FeatureValue::Numeric(9.0));
+  FeatureValue out;
+  ASSERT_TRUE(cache.Lookup(0, 7, &out));
+  EXPECT_EQ(out, FeatureValue::Numeric(9.0));
+  const ResponseCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+/// Pure inner service that counts how many calls actually reach it.
+class CountingService : public FeatureService {
+ public:
+  CountingService() {
+    def_.name = "counting";
+    def_.type = FeatureType::kNumeric;
+  }
+  const FeatureDef& output_def() const override { return def_; }
+  ResourceKind kind() const override {
+    return ResourceKind::kAggregateStatistic;
+  }
+  FeatureValue Apply(const Entity& entity) const override {
+    ++calls_;
+    return FeatureValue::Numeric(static_cast<double>(entity.id) * 0.5);
+  }
+  int calls() const { return calls_; }
+
+ private:
+  FeatureDef def_;
+  mutable int calls_ = 0;
+};
+
+TEST(CachingServiceTest, HitsSkipTheUpstreamAndCountersRecord) {
+  auto inner = std::make_unique<CountingService>();
+  const CountingService* upstream = inner.get();
+  ResponseCache cache(16);
+  ServiceHealthCounters counters;
+  CachingService caching(std::move(inner), /*service_id=*/3, &cache,
+                         &counters);
+
+  Entity entity;
+  entity.id = 11;
+  entity.modality = Modality::kImage;
+  auto first = caching.Call(entity, 0);
+  ASSERT_TRUE(first.ok());
+  auto second = caching.Call(entity, 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(upstream->calls(), 1);  // the second call was a hit
+  EXPECT_EQ(counters.cache_misses.load(), 1u);
+  EXPECT_EQ(counters.cache_hits.load(), 1u);
+}
+
+TEST(CachingServiceTest, RetryAttemptsBypassTheCache) {
+  auto inner = std::make_unique<CountingService>();
+  const CountingService* upstream = inner.get();
+  ResponseCache cache(16);
+  CachingService caching(std::move(inner), /*service_id=*/0, &cache);
+
+  Entity entity;
+  entity.id = 5;
+  entity.modality = Modality::kImage;
+  ASSERT_TRUE(caching.Call(entity, 0).ok());  // populates the cache
+  // attempt > 0 must always reach the upstream so fault-layer retry
+  // schedules are undisturbed by the cache.
+  ASSERT_TRUE(caching.Call(entity, 1).ok());
+  ASSERT_TRUE(caching.Call(entity, 2).ok());
+  EXPECT_EQ(upstream->calls(), 3);
+  EXPECT_EQ(cache.Stats().hits, 0u);
+}
+
+TEST_F(ResourcesTest, InstallResponseCacheValidatesAndServesHits) {
+  EXPECT_EQ(registry_->InstallResponseCache(0).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry_->InstallResponseCache(1 << 16).ok());
+  EXPECT_EQ(registry_->InstallResponseCache(8).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_NE(registry_->response_cache(), nullptr);
+
+  const Entity& e = corpus_.image_unlabeled.front();
+  const FeatureVector cold = registry_->GenerateFeatures(e);
+  const FeatureVector warm = registry_->GenerateFeatures(e);
+  for (size_t f = 0; f < registry_->schema().size(); ++f) {
+    EXPECT_EQ(cold.Get(static_cast<FeatureId>(f)),
+              warm.Get(static_cast<FeatureId>(f)))
+        << "feature " << f;
+  }
+  EXPECT_GT(registry_->response_cache()->Stats().hits, 0u);
+
+  uint64_t hits = 0;
+  for (const ServiceHealth& h : registry_->HealthSnapshot()) {
+    hits += h.cache_hits;
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+TEST_F(ResourcesTest, CachedRowsMatchUncachedRegistryBitForBit) {
+  // Services are pure, so the cache may never change a value — only skip
+  // recomputation. Compare against an identically seeded uncached registry.
+  auto other = BuildModerationRegistry(generator_, /*seed=*/7);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(registry_->InstallResponseCache(1 << 14).ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < 10 && i < corpus_.image_unlabeled.size(); ++i) {
+      const Entity& e = corpus_.image_unlabeled[i];
+      const FeatureVector cached = registry_->GenerateFeatures(e);
+      const FeatureVector plain = other->GenerateFeatures(e);
+      for (size_t f = 0; f < registry_->schema().size(); ++f) {
+        EXPECT_EQ(cached.Get(static_cast<FeatureId>(f)),
+                  plain.Get(static_cast<FeatureId>(f)))
+            << "pass " << pass << " entity " << e.id << " feature " << f;
+      }
+    }
   }
 }
 

@@ -8,20 +8,24 @@
 # scale and validates its metric-carrying JSON. A serving-tier binary as the
 # 5th argument runs the sharded-serving bench at tiny scale (its internal
 # bit-identity gate doubles as an equivalence check) and validates
-# BENCH_serving_tier.json the same way. Registered as the `bench_smoke`
+# BENCH_serving_tier.json the same way. A feature-store IO binary as the 6th
+# argument runs the TSV/columnar/mmap round-trip bench at tiny scale (its
+# internal hash gate proves all formats decode bit-identically) and
+# validates BENCH_feature_store_io.json. Registered as the `bench_smoke`
 # ctest test:
 #
 #   tools/bench_smoke.sh <bench_micro_substrates-binary> \
 #       <bench_compare-binary> <output-dir> [<bench_availability-binary>] \
-#       [<bench_serving_tier-binary>]
+#       [<bench_serving_tier-binary>] [<bench_feature_store_io-binary>]
 set -euo pipefail
 
-USAGE="usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir> [<avail-binary>] [<serving-binary>]"
+USAGE="usage: bench_smoke.sh <bench-binary> <compare-binary> <out-dir> [<avail-binary>] [<serving-binary>] [<store-io-binary>]"
 BENCH_BIN=${1:?${USAGE}}
 COMPARE_BIN=${2:?${USAGE}}
 OUT_DIR=${3:?${USAGE}}
 AVAIL_BIN=${4:-}
 SERVING_BIN=${5:-}
+STORE_IO_BIN=${6:-}
 
 JSON="${OUT_DIR}/BENCH_micro_substrates.json"
 rm -f "${JSON}"
@@ -67,6 +71,20 @@ if [[ -n "${SERVING_BIN}" ]]; then
   echo "== bench_compare --validate (serving tier) =="
   "${COMPARE_BIN}" --validate "${SERVING_JSON}"
   "${COMPARE_BIN}" "${SERVING_JSON}" "${SERVING_JSON}"
+fi
+
+if [[ -n "${STORE_IO_BIN}" ]]; then
+  # Feature-store IO at tiny scale: the binary fails unless the TSV,
+  # columnar, and mmap read paths all hash bit-identically, so the smoke
+  # run covers the format round trip as well as the JSON schema.
+  STORE_JSON="${OUT_DIR}/BENCH_feature_store_io.json"
+  rm -f "${STORE_JSON}"
+  echo "== feature-store IO (scale 0.05, 2 reps) =="
+  CM_BENCH_JSON_DIR="${OUT_DIR}" CM_BENCH_SCALE=0.05 \
+    CM_BENCH_REPS=2 CM_BENCH_WARMUP=0 "${STORE_IO_BIN}"
+  echo "== bench_compare --validate (feature-store IO) =="
+  "${COMPARE_BIN}" --validate "${STORE_JSON}"
+  "${COMPARE_BIN}" "${STORE_JSON}" "${STORE_JSON}"
 fi
 
 echo "bench_smoke: OK"

@@ -13,6 +13,17 @@
 //                                                client traffic through the
 //                                                sharded serving tier and
 //                                                print the shard table
+//   convert   --schema TSV --in STORE --out STORE  re-encode a feature store
+//                                                between TSV and the binary
+//                                                columnar format (the input
+//                                                format is sniffed; the
+//                                                output format comes from
+//                                                --to or the --out extension)
+//
+// generate/curate take --store-format tsv|columnar to pick the on-disk
+// encoding of the feature store they emit (features.tsv vs features.cmc).
+// --cache-capacity N installs the LRU response cache in front of every
+// resource service and prints its hit/miss totals.
 //
 // Everything is deterministic; --seed overrides the task preset's seed.
 
@@ -30,6 +41,9 @@
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "io/artifacts.h"
+#include "io/columnar.h"
+#include "io/io_faults.h"
+#include "io/store_format.h"
 #include "resources/fault_injection.h"
 #include "resources/validation.h"
 #include "serving/batch_server.h"
@@ -50,6 +64,12 @@ struct Args {
   uint64_t seed = 0;  // 0 = task preset default
   std::string out;
   FaultPlan fault_plan;  ///< Empty = healthy services.
+  StoreFormat store_format = StoreFormat::kTsv;
+  size_t cache_capacity = 0;  ///< 0 = no response cache.
+  // convert subcommand:
+  std::string schema_path;
+  std::string in;
+  std::string to;  ///< Output format override; empty = sniff --out extension.
   // serve subcommand:
   size_t shards = 4;
   size_t clients = 4;
@@ -63,9 +83,12 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: cmctl <generate|curate|run|audit|serve> --task N "
                "[--scale F] [--seed S] [--out DIR] [--fault-plan SPEC]\n"
+               "       [--store-format tsv|columnar] [--cache-capacity N]\n"
                "       serve also takes [--shards N] [--clients N] "
                "[--requests N] [--max-batch N] [--batch-window-us U] "
-               "[--queue-capacity N]\n");
+               "[--queue-capacity N]\n"
+               "       cmctl convert --schema SCHEMA.tsv --in STORE --out "
+               "STORE [--to tsv|columnar]\n");
 }
 
 /// Parses `value` with the checked helper `parse`, or fails with a usage
@@ -105,6 +128,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!ParseFlagValue(flag, value, ParseUint64, &args->seed)) return false;
     } else if (flag == "--out") {
       args->out = value;
+    } else if (flag == "--schema") {
+      args->schema_path = value;
+    } else if (flag == "--in") {
+      args->in = value;
+    } else if (flag == "--to") {
+      args->to = value;
+    } else if (flag == "--store-format") {
+      auto format = ParseStoreFormat(value);
+      if (!format.ok()) {
+        std::fprintf(stderr, "cmctl: bad --store-format: %s\n",
+                     format.status().ToString().c_str());
+        return false;
+      }
+      args->store_format = *format;
+    } else if (flag == "--cache-capacity") {
+      if (!ParseFlagValue(flag, value, ParseUint64, &args->cache_capacity)) {
+        return false;
+      }
     } else if (flag == "--fault-plan") {
       auto plan = FaultPlan::Parse(value);
       if (!plan.ok()) {
@@ -152,6 +193,9 @@ struct World {
   std::unique_ptr<CorpusGenerator> generator;
   Corpus corpus;
   std::unique_ptr<ResourceRegistry> registry;
+  /// Armed when the fault plan carries an `io:` entry; file IO under this
+  /// world then sees injected open failures / torn writes / corruption.
+  std::unique_ptr<ScopedIoFaultInjection> io_faults;
 };
 
 World MakeWorld(const Args& args) {
@@ -166,18 +210,46 @@ World MakeWorld(const Args& args) {
   world.registry =
       std::make_unique<ResourceRegistry>(std::move(registry).value());
   if (!args.fault_plan.empty()) {
-    // The registry rejects the reserved `serving:` target; those entries
-    // are consumed by the ShardedServer fault hook in `serve`.
-    const FaultPlan registry_plan = args.fault_plan.WithoutServing();
+    // The registry rejects the reserved targets: `serving:` entries are
+    // consumed by the ShardedServer fault hook in `serve`, and `io:`
+    // entries arm the process-global file-IO injector here.
+    const FaultPlan registry_plan = args.fault_plan.WithoutReserved();
     if (!registry_plan.empty()) {
       CM_CHECK_OK(world.registry->InstallFaultLayer(registry_plan));
+    }
+    if (args.fault_plan.IoEntry() != nullptr) {
+      world.io_faults = std::make_unique<ScopedIoFaultInjection>(
+          IoFaultConfigFromPlan(args.fault_plan));
     }
     std::printf("fault plan active (%zu directive%s, seed %llu)\n",
                 args.fault_plan.entries.size(),
                 args.fault_plan.entries.size() == 1 ? "" : "s",
                 static_cast<unsigned long long>(args.fault_plan.seed));
   }
+  if (args.cache_capacity > 0) {
+    // Installed after the fault layer so the cache is outermost: a cached
+    // value short-circuits injected faults and retries entirely.
+    CM_CHECK_OK(world.registry->InstallResponseCache(args.cache_capacity));
+  }
   return world;
+}
+
+/// Prints response-cache totals when a cache is installed (generate/curate
+/// read them off the registry; run gets them through PipelineReport too).
+void PrintCacheStats(const ResourceRegistry& registry) {
+  const ResponseCache* cache = registry.response_cache();
+  if (cache == nullptr) return;
+  const ResponseCacheStats stats = cache->Stats();
+  const uint64_t lookups = stats.hits + stats.misses;
+  std::printf("response cache: %llu/%llu hits (%.1f%%), %llu evictions, "
+              "%zu/%zu entries\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(lookups),
+              lookups == 0 ? 0.0
+                           : 100.0 * static_cast<double>(stats.hits) /
+                                 static_cast<double>(lookups),
+              static_cast<unsigned long long>(stats.evictions), stats.entries,
+              stats.capacity);
 }
 
 /// Prints the per-service degradation table when the fault layer injected
@@ -212,27 +284,40 @@ void PrintDegradation(const PipelineReport& report) {
   table.Print(std::cout);
 }
 
-PipelineConfig MakeConfig(const World& world) {
+PipelineConfig MakeConfig(const Args& args, const World& world) {
   PipelineConfig config;
   config.seed = DeriveSeed(world.task.seed, "cmctl");
   config.model.ensemble_size = 3;
   config.curation.label_model.fixed_class_balance = world.task.pos_rate;
+  config.store_format = args.store_format;
   return config;
+}
+
+/// Persists the pipeline's feature store under `dir` in the configured
+/// format (features.tsv or features.cmc) and returns the path written.
+std::string WriteStoreArtifact(const CrossModalPipeline& pipeline,
+                               const std::string& dir) {
+  const StoreFormat format = pipeline.config().store_format;
+  const std::string path =
+      dir + "/features." + std::string(StoreFormatExtension(format));
+  CM_CHECK_OK(WriteFeatureStore(pipeline.store(), path, format));
+  return path;
 }
 
 int CmdGenerate(const Args& args) {
   const World world = MakeWorld(args);
   std::filesystem::create_directories(args.out);
   CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
-                              MakeConfig(world));
+                              MakeConfig(args, world));
   CM_CHECK_OK(pipeline.GenerateFeatureSpace());
   CM_CHECK_OK(WriteSchemaTsv(world.registry->schema(),
                              args.out + "/schema.tsv"));
-  CM_CHECK_OK(WriteFeatureStoreTsv(pipeline.store(),
-                                   args.out + "/features.tsv"));
-  std::printf("wrote %zu-feature schema and %zu rows to %s\n",
+  const std::string store_path = WriteStoreArtifact(pipeline, args.out);
+  std::printf("wrote %zu-feature schema and %zu rows to %s (%s)\n",
               world.registry->schema().size(), pipeline.store().size(),
-              args.out.c_str());
+              store_path.c_str(),
+              StoreFormatName(pipeline.config().store_format));
+  PrintCacheStats(*world.registry);
   return 0;
 }
 
@@ -240,26 +325,26 @@ int CmdCurate(const Args& args) {
   const World world = MakeWorld(args);
   std::filesystem::create_directories(args.out);
   CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
-                              MakeConfig(world));
+                              MakeConfig(args, world));
   auto curation = pipeline.CurateTrainingData();
   CM_CHECK(curation.ok()) << curation.status();
   CM_CHECK_OK(WriteSchemaTsv(world.registry->schema(),
                              args.out + "/schema.tsv"));
-  CM_CHECK_OK(WriteFeatureStoreTsv(pipeline.store(),
-                                   args.out + "/features.tsv"));
+  (void)WriteStoreArtifact(pipeline, args.out);
   CM_CHECK_OK(WriteWeakLabelsTsv(curation->weak_labels,
                                  args.out + "/weak_labels.tsv"));
   std::printf("curated %zu weak labels with %zu LFs (coverage %.2f); "
               "artifacts in %s\n",
               curation->weak_labels.size(), curation->lfs.size(),
               curation->lf_total_coverage, args.out.c_str());
+  PrintCacheStats(*world.registry);
   return 0;
 }
 
 int CmdRun(const Args& args) {
   const World world = MakeWorld(args);
   CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
-                              MakeConfig(world));
+                              MakeConfig(args, world));
   auto result = pipeline.Run();
   CM_CHECK(result.ok()) << result.status();
   const auto scores = pipeline.ScoreTestSet(*result->model);
@@ -272,6 +357,7 @@ int CmdRun(const Args& args) {
               result->report.curation_seconds,
               result->report.training_seconds);
   PrintDegradation(result->report);
+  PrintCacheStats(*world.registry);
   if (!args.out.empty()) {
     std::filesystem::create_directories(args.out);
     std::vector<int> labels;
@@ -291,7 +377,7 @@ int CmdRun(const Args& args) {
 int CmdAudit(const Args& args) {
   const World world = MakeWorld(args);
   CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
-                              MakeConfig(world));
+                              MakeConfig(args, world));
   CM_CHECK_OK(pipeline.GenerateFeatureSpace());
   std::vector<EntityId> old_ids, new_ids;
   std::vector<int> old_labels;
@@ -315,13 +401,14 @@ int CmdAudit(const Args& args) {
                   r.suspect ? "YES" : "no"});
   }
   table.Print(std::cout);
+  PrintCacheStats(*world.registry);
   return 0;
 }
 
 int CmdServe(const Args& args) {
   const World world = MakeWorld(args);
   CrossModalPipeline pipeline(world.registry.get(), &world.corpus,
-                              MakeConfig(world));
+                              MakeConfig(args, world));
   auto result = pipeline.Run();
   CM_CHECK(result.ok()) << result.status();
 
@@ -422,6 +509,64 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdConvert(const Args& args) {
+  if (args.schema_path.empty() || args.in.empty() || args.out.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  auto schema = ReadSchemaTsv(args.schema_path);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "cmctl: cannot read --schema: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+  auto in_format = DetectStoreFormat(args.in);
+  if (!in_format.ok()) {
+    std::fprintf(stderr, "cmctl: cannot sniff --in format: %s\n",
+                 in_format.status().ToString().c_str());
+    return 1;
+  }
+  StoreFormat out_format;
+  if (!args.to.empty()) {
+    auto parsed = ParseStoreFormat(args.to);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cmctl: bad --to: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    out_format = *parsed;
+  } else {
+    // No --to: take the format from the output extension, defaulting the
+    // unrecognized case to "the other one" so a bare path still converts.
+    const std::string& out = args.out;
+    if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".cmc") == 0) {
+      out_format = StoreFormat::kColumnar;
+    } else if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".tsv") == 0) {
+      out_format = StoreFormat::kTsv;
+    } else {
+      out_format = *in_format == StoreFormat::kTsv ? StoreFormat::kColumnar
+                                                   : StoreFormat::kTsv;
+    }
+  }
+  auto store = ReadFeatureStore(&*schema, args.in, *in_format);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cmctl: cannot read --in: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  const Status written = WriteFeatureStore(*store, args.out, out_format);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cmctl: cannot write --out: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("converted %zu rows x %zu features: %s (%s) -> %s (%s)\n",
+              store->size(), schema->size(), args.in.c_str(),
+              StoreFormatName(*in_format), args.out.c_str(),
+              StoreFormatName(out_format));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -447,6 +592,7 @@ int main(int argc, char** argv) {
   if (args.command == "run") return CmdRun(args);
   if (args.command == "audit") return CmdAudit(args);
   if (args.command == "serve") return CmdServe(args);
+  if (args.command == "convert") return CmdConvert(args);
   PrintUsage();
   return 2;
 }
