@@ -6,12 +6,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <utility>
 
 #include "io/artifacts.h"
 #include "io/file_io.h"
 #include "io/io_faults.h"
+#include "util/check.h"
 #include "util/hashing.h"
 
 namespace crossmodal {
@@ -22,6 +24,12 @@ constexpr char kMagic[4] = {'C', 'M', 'C', 'F'};
 constexpr uint32_t kVersion = 1;
 constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 8;
 constexpr size_t kFooterSize = 8;
+
+// Source for ColumnarReader::generation_: every successful mapping gets a
+// distinct nonzero id, so a moved-from or destroyed reader (generation_ == 0)
+// is distinguishable from every live one. The count is never read back for
+// ordering — relaxed is sufficient.
+std::atomic<uint64_t> g_reader_generation{0};
 
 // ---- Little-endian primitives (byte-at-a-time: no alignment or host
 // endianness assumptions, which also keeps UBSan quiet on the mapped
@@ -321,9 +329,11 @@ ColumnarReader::ColumnarReader(ColumnarReader&& other) noexcept
       num_rows_(other.num_rows_),
       num_cols_(other.num_cols_),
       ids_offset_(other.ids_offset_),
-      offsets_offset_(other.offsets_offset_) {
+      offsets_offset_(other.offsets_offset_),
+      generation_(other.generation_) {
   other.data_ = nullptr;
   other.size_ = 0;
+  other.generation_ = 0;
 }
 
 ColumnarReader& ColumnarReader::operator=(ColumnarReader&& other) noexcept {
@@ -338,8 +348,10 @@ ColumnarReader& ColumnarReader::operator=(ColumnarReader&& other) noexcept {
     num_cols_ = other.num_cols_;
     ids_offset_ = other.ids_offset_;
     offsets_offset_ = other.offsets_offset_;
+    generation_ = other.generation_;
     other.data_ = nullptr;
     other.size_ = 0;
+    other.generation_ = 0;
   }
   return *this;
 }
@@ -348,6 +360,7 @@ ColumnarReader::~ColumnarReader() {
   if (data_ != nullptr) {
     ::munmap(const_cast<uint8_t*>(data_), size_);
   }
+  generation_ = 0;
 }
 
 Result<ColumnarReader> ColumnarReader::Open(const FeatureSchema* schema,
@@ -396,6 +409,11 @@ Result<ColumnarReader> ColumnarReader::Open(const FeatureSchema* schema,
   reader.schema_ = schema;
   reader.data_ = static_cast<const uint8_t*>(map);
   reader.size_ = size;
+  // Mark the reader live as soon as it owns the mapping (validation below
+  // already reads through entity()); fetch_add returns the prior count, so
+  // +1 keeps the first generation nonzero.
+  reader.generation_ =
+      g_reader_generation.fetch_add(1, std::memory_order_relaxed) + 1;
   const uint8_t* data = reader.data_;
 
   if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
@@ -449,10 +467,12 @@ Result<ColumnarReader> ColumnarReader::Open(const FeatureSchema* schema,
 }
 
 EntityId ColumnarReader::entity(size_t row) const {
+  CM_DCHECK(generation_ != 0) << "use of moved-from or closed ColumnarReader";
   return LoadU64(data_ + ids_offset_ + 8 * row);
 }
 
 Result<FeatureVector> ColumnarReader::ReadRow(EntityId entity_id) const {
+  CM_DCHECK(generation_ != 0) << "use of moved-from or closed ColumnarReader";
   // Binary search over the ascending id array.
   size_t lo = 0, hi = num_rows_;
   while (lo < hi) {
@@ -492,6 +512,7 @@ Result<FeatureVector> ColumnarReader::ReadRow(EntityId entity_id) const {
 }
 
 Result<FeatureStore> ColumnarReader::Materialize() const {
+  CM_DCHECK(generation_ != 0) << "use of moved-from or closed ColumnarReader";
   std::vector<FeatureVector> rows(num_rows_, FeatureVector(num_cols_));
   const size_t limit = size_ - kFooterSize;
   for (size_t c = 0; c < num_cols_; ++c) {

@@ -99,6 +99,11 @@ class ColumnarReader {
   size_t num_cols_ = 0;
   size_t ids_offset_ = 0;      // byte offset of the entity-id array
   size_t offsets_offset_ = 0;  // byte offset of the column directory
+  // Debug-build lifetime guard: nonzero once Open() validated the mapping,
+  // zeroed when the reader is moved from or destroyed. Accessors CM_DCHECK
+  // it so a use of a moved-from/closed reader trips in sanitizer and debug
+  // builds instead of dereferencing a null mapping.
+  uint64_t generation_ = 0;
 };
 
 /// Writes `store` to `path` in the chosen format.

@@ -68,29 +68,13 @@ class ServingShard {
       CM_LOCKS_EXCLUDED(mu_) {
     std::promise<Result<ServedScore>> promise;
     Ticket ticket(entity, index_, promise.get_future());
-    bool shed = false;
-    {
-      MutexLock lock(&mu_);
-      ++submitted_;
-      if (stopping_ || queue_.size() >= options_.shed_watermark) {
-        ++shed_;
-        shed = true;
-      } else {
-        Request request;
-        request.entity = entity;
-        request.row = row;
-        request.promise = std::move(promise);
-        queue_.push_back(std::move(request));
-        queue_high_water_ = std::max(queue_high_water_, queue_.size());
-      }
-    }
-    if (shed) {
+    if (!TryEnqueue(entity, row, &promise)) {
       promise.set_value(Status::Unavailable(
           "shard " + std::to_string(index_) +
           " queue over watermark; request shed"));
-    } else {
-      work_cv_.notify_one();
+      return ticket;
     }
+    work_cv_.notify_one();
     return ticket;
   }
 
@@ -123,6 +107,28 @@ class ServingShard {
   }
 
  private:
+  /// Admission under the queue lock: moves `*promise` into the queue and
+  /// returns true, or counts a shed and returns false with `*promise`
+  /// intact so the caller can reply on it — the shed reply never touches a
+  /// moved-from promise.
+  bool TryEnqueue(EntityId entity, const FeatureVector& row,
+                  std::promise<Result<ServedScore>>* promise)
+      CM_LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(&mu_);
+    ++submitted_;
+    if (stopping_ || queue_.size() >= options_.shed_watermark) {
+      ++shed_;
+      return false;
+    }
+    Request request;
+    request.entity = entity;
+    request.row = row;
+    request.promise = std::move(*promise);
+    queue_.push_back(std::move(request));
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+    return true;
+  }
+
   void WorkerLoop() CM_LOCKS_EXCLUDED(mu_) {
     for (;;) {
       std::vector<Request> batch;

@@ -1,8 +1,10 @@
-// Unit tests for the tools/analysis/ symbol/field model that backs cmrace:
-// capture-list classification, class/field extraction with CM_GUARDED_BY
-// cross-referencing, declaration classification, lock-scope discovery, and
-// suppression-marker parsing. The model is token-level by design; these
-// tests pin the conventions it must understand in this codebase's style.
+// Unit tests for the tools/analysis/ symbol/field model that backs cmrace
+// and cmlife: capture-list classification, class/field extraction with
+// CM_GUARDED_BY cross-referencing, declaration classification, lock-scope
+// discovery, suppression-marker parsing, and the lifetime model (type
+// ownership, function/local extraction, std::move and loop tracking). The
+// model is token-level by design; these tests pin the conventions it must
+// understand in this codebase's style.
 
 #include <string>
 #include <vector>
@@ -215,6 +217,161 @@ TEST(CollectLockScopesTest, SmartPointerGetResolvesToFieldName) {
       analysis::CollectLockScopes(text, 0, text.size());
   ASSERT_EQ(scopes.size(), 1u);
   EXPECT_EQ(scopes[0].mutex, "stats_mu_");
+}
+
+// ---- ClassifyTypeOwnership -------------------------------------------------
+
+TEST(TypeOwnershipTest, ViewsReferencesPointersIterators) {
+  using analysis::ClassifyTypeOwnership;
+  using analysis::TypeOwnership;
+  EXPECT_EQ(ClassifyTypeOwnership("std::string_view"), TypeOwnership::kView);
+  EXPECT_EQ(ClassifyTypeOwnership("absl::Span<const int>"),
+            TypeOwnership::kView);
+  EXPECT_EQ(ClassifyTypeOwnership("byte_view"), TypeOwnership::kView);
+  EXPECT_EQ(ClassifyTypeOwnership("const std::string&"),
+            TypeOwnership::kReference);
+  EXPECT_EQ(ClassifyTypeOwnership("const uint8_t*"), TypeOwnership::kPointer);
+  EXPECT_EQ(ClassifyTypeOwnership("std::vector<int>::iterator"),
+            TypeOwnership::kIterator);
+  // `*` outranks `&`: a reference to pointer is still a reference.
+  EXPECT_EQ(ClassifyTypeOwnership("char*&"), TypeOwnership::kReference);
+  // Rvalue references transfer ownership to the holder.
+  EXPECT_EQ(ClassifyTypeOwnership("std::string&&"), TypeOwnership::kOwning);
+  EXPECT_EQ(ClassifyTypeOwnership("std::vector<double>"),
+            TypeOwnership::kOwning);
+  EXPECT_EQ(ClassifyTypeOwnership("std::unique_ptr<Reader>"),
+            TypeOwnership::kOwning);
+
+  EXPECT_TRUE(analysis::IsViewLikeType("std::string_view"));
+  EXPECT_TRUE(analysis::IsViewLikeType("const Row&"));
+  EXPECT_FALSE(analysis::IsViewLikeType("std::string"));
+}
+
+// ---- CollectFunctionDefs ---------------------------------------------------
+
+TEST(CollectFunctionDefsTest, BodiesCarryReturnTypeAndParamOwnership) {
+  const SourceFile file = MakeFile(
+      "std::string_view Label(const Config& cfg, std::string tag) {\n"
+      "  return tag;\n"
+      "}\n"
+      "void Run() {}\n");
+  const std::vector<analysis::FunctionInfo> fns =
+      analysis::CollectFunctionDefs(file);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "Label");
+  EXPECT_EQ(analysis::ClassifyTypeOwnership(fns[0].return_type),
+            analysis::TypeOwnership::kView);
+  ASSERT_EQ(fns[0].params.size(), 2u);
+  EXPECT_EQ(fns[0].params[0].name, "cfg");
+  EXPECT_EQ(fns[0].params[0].ownership, analysis::TypeOwnership::kReference);
+  EXPECT_EQ(fns[0].params[1].name, "tag");
+  EXPECT_EQ(fns[0].params[1].ownership, analysis::TypeOwnership::kOwning);
+  EXPECT_TRUE(fns[0].has_body());
+  EXPECT_GT(fns[0].body_end, fns[0].body_begin);
+}
+
+TEST(CollectFunctionDefsTest, DeclModeCollectsPrototypesNotStatements) {
+  const SourceFile file = MakeFile(
+      "std::string MakeLabel(int n);\n"
+      "const Row& RowAt(size_t i);\n"
+      "std::string label(4, 'x');\n"  // variable, not a prototype
+      "void Consume() {\n"
+      "  return Process(label);\n"  // call statement, not a declaration
+      "}\n");
+  const std::vector<analysis::FunctionInfo> defs =
+      analysis::CollectFunctionDefs(file, /*include_decls=*/false);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "Consume");
+
+  const std::vector<analysis::FunctionInfo> all =
+      analysis::CollectFunctionDefs(file, /*include_decls=*/true);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "MakeLabel");
+  EXPECT_FALSE(all[0].has_body());
+  EXPECT_EQ(all[1].name, "RowAt");
+  EXPECT_EQ(analysis::ClassifyTypeOwnership(all[1].return_type),
+            analysis::TypeOwnership::kReference);
+  EXPECT_EQ(all[2].name, "Consume");
+}
+
+TEST(CollectFunctionDefsTest, ReturnTypeStopsAtPreprocessorLines) {
+  // The backward type walk must not hop onto an #include line: the angle
+  // brackets of `<string_view>` look like template arguments and would
+  // classify the next function's return type as a view.
+  const SourceFile file = MakeFile(
+      "#include <string_view>\n"
+      "std::string MakeLabel(int n) {\n"
+      "  return std::to_string(n);\n"
+      "}\n");
+  const std::vector<analysis::FunctionInfo> fns =
+      analysis::CollectFunctionDefs(file);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "MakeLabel");
+  EXPECT_EQ(fns[0].return_type.find("include"), std::string::npos);
+  EXPECT_EQ(analysis::ClassifyTypeOwnership(fns[0].return_type),
+            analysis::TypeOwnership::kOwning);
+}
+
+// ---- CollectLocalVars ------------------------------------------------------
+
+TEST(CollectLocalVarsTest, ScopeEndsAtInnermostBraceAndStaticIsFlagged) {
+  const std::string text =
+      "{\n"
+      "  std::string owned = Load();\n"
+      "  {\n"
+      "    std::string_view v = owned;\n"
+      "  }\n"
+      "  static std::string cache;\n"
+      "  Process(owned);\n"
+      "}\n";
+  const std::vector<analysis::LocalVar> locals =
+      analysis::CollectLocalVars(text, 1, text.size());
+  ASSERT_EQ(locals.size(), 3u);
+  EXPECT_EQ(locals[0].name, "owned");
+  EXPECT_EQ(locals[0].ownership, analysis::TypeOwnership::kOwning);
+  EXPECT_FALSE(locals[0].is_static);
+  EXPECT_EQ(locals[1].name, "v");
+  EXPECT_EQ(locals[1].ownership, analysis::TypeOwnership::kView);
+  // The view's lifetime ends at the inner '}', before `static` appears.
+  EXPECT_LT(locals[1].scope_end, text.find("static"));
+  EXPECT_EQ(locals[2].name, "cache");
+  EXPECT_TRUE(locals[2].is_static);
+}
+
+// ---- CollectMoves ----------------------------------------------------------
+
+TEST(CollectMovesTest, PlainIdentifiersOnlyMemberMovesSkipped) {
+  const std::string text =
+      "  queue.push_back(std::move(request));\n"
+      "  sink = std::move(holder.promise);\n"  // member move: skipped
+      "  out = std::move (tmp);\n";
+  const std::vector<analysis::MoveUse> moves =
+      analysis::CollectMoves(text, 0, text.size());
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0].name, "request");
+  EXPECT_EQ(moves[1].name, "tmp");
+  EXPECT_GT(moves[0].end, moves[0].offset);
+}
+
+// ---- CollectLoopRanges -----------------------------------------------------
+
+TEST(CollectLoopRangesTest, LoopBodiesAreRangesStraightLineIsNot) {
+  const std::string text =
+      "{\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    acc += i;\n"
+      "  }\n"
+      "  while (Pending()) {\n"
+      "    Drain();\n"
+      "  }\n"
+      "  tail = 1;\n"
+      "}\n";
+  const std::vector<analysis::LoopRange> ranges =
+      analysis::CollectLoopRanges(text, 0, text.size());
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_TRUE(analysis::InAnyRange(ranges, text.find("acc")));
+  EXPECT_TRUE(analysis::InAnyRange(ranges, text.find("Drain")));
+  EXPECT_FALSE(analysis::InAnyRange(ranges, text.find("tail")));
 }
 
 // ---- Suppression parsing ---------------------------------------------------

@@ -438,6 +438,41 @@ TEST_F(IoRoundTripTest, ColumnarRoundTripBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST_F(IoRoundTripTest, ColumnarReaderMovedFromUseTripsDcheck) {
+  FeatureStore store(&registry_->schema());
+  GenerateFeatures(corpus_.image_unlabeled, *registry_, &store);
+  const std::string path = TempPath("store_moved.cmc");
+  ASSERT_TRUE(WriteFeatureStoreColumnar(store, path).ok());
+  auto opened = ColumnarReader::Open(&registry_->schema(), path);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+
+  ColumnarReader first = std::move(*opened);
+  ASSERT_EQ(first.num_rows(), store.size());
+  ColumnarReader second = std::move(first);
+
+  // The mapping travels with the move: the destination decodes normally.
+  auto materialized = second.Materialize();
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  EXPECT_EQ(materialized->size(), store.size());
+
+  // Using the moved-from source is the bug ColumnarReader's generation
+  // guard exists to catch; this test commits it on purpose.
+#ifndef NDEBUG
+  // cmlife: move-ok — deliberate use-after-move to exercise the guard
+  EXPECT_DEATH(first.entity(0), "moved-from or closed ColumnarReader");
+  // cmlife: move-ok — deliberate use-after-move to exercise the guard
+  EXPECT_DEATH((void)first.ReadRow(0), "moved-from or closed ColumnarReader");
+  // cmlife: move-ok — deliberate use-after-move to exercise the guard
+  EXPECT_DEATH((void)first.Materialize(),
+               "moved-from or closed ColumnarReader");
+#else
+  // Release builds compile the CM_DCHECK out; the moved-from reader is
+  // merely empty (null mapping), and only the destination stays usable.
+  EXPECT_EQ(second.num_rows(), store.size());
+#endif
+  std::remove(path.c_str());
+}
+
 TEST_F(IoRoundTripTest, StoreFormatDispatchAndDetection) {
   FeatureStore store(&registry_->schema());
   GenerateFeatures(corpus_.image_unlabeled, *registry_, &store);

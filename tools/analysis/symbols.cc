@@ -771,6 +771,88 @@ DeclClass ClassifyDeclaration(const std::string& stripped_text,
   return result;
 }
 
+namespace {
+
+/// True when the line containing `pos` is a preprocessor directive — its
+/// first non-blank character is '#'.
+bool OnPreprocessorLine(const std::string& text, size_t pos) {
+  size_t ls = text.rfind('\n', pos);
+  ls = ls == std::string::npos ? 0 : ls + 1;
+  while (ls < text.size() && (text[ls] == ' ' || text[ls] == '\t')) ++ls;
+  return ls < text.size() && text[ls] == '#';
+}
+
+/// Walks backward from `pos` (the start of a name) over a plausible type
+/// prefix: identifiers, `::` qualifiers, template argument lists, `*`/`&`.
+/// Returns true when a declaration-shaped prefix with at least one
+/// non-qualifier type identifier precedes the name; `*begin_out` is the
+/// prefix start offset. The same walk ClassifyDeclaration performs, made
+/// positional so scope-aware consumers can classify one occurrence.
+bool TypePrefixBefore(const std::string& text, size_t pos, size_t* begin_out) {
+  size_t i = pos;
+  bool has_type_ident = false;
+  while (true) {
+    const size_t p = PrevNonSpace(text, i);
+    if (p == std::string::npos) break;
+    // `#include <string>` above a declaration must not read as a template
+    // argument list: a directive line is never part of a type prefix.
+    if (OnPreprocessorLine(text, p)) break;
+    const char c = text[p];
+    if (c == '*' || c == '&') {
+      i = p;
+      continue;
+    }
+    if (c == ':' && p > 0 && text[p - 1] == ':') {
+      i = p - 1;
+      continue;
+    }
+    if (c == '>') {
+      if (p > 0 && text[p - 1] == '-') return false;  // '->': member access
+      int d = 0;
+      size_t q = p + 1;
+      bool matched = false;
+      while (q > 0) {
+        --q;
+        if (text[q] == '>') {
+          ++d;
+        } else if (text[q] == '<') {
+          if (--d == 0) {
+            i = q;
+            matched = true;
+            break;
+          }
+        } else if (text[q] == ';' || text[q] == '{' || text[q] == '}') {
+          break;
+        }
+      }
+      if (!matched) return false;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t b = p;
+      while (b > 0 && IsIdentChar(text[b - 1])) --b;
+      const std::string tok = text.substr(b, p - b + 1);
+      if (IsBannedDeclToken(tok)) return false;
+      if (!IsTypeQualifier(tok)) has_type_ident = true;
+      i = b;
+      continue;
+    }
+    break;  // statement boundary: ';', '{', '(', ',', '=', operators...
+  }
+  if (!has_type_ident || i >= pos) return false;
+  *begin_out = i;
+  return true;
+}
+
+/// Last token of `collapsed` that is not a cv-qualifier or '&'/'*'
+/// punctuation — the token ownership classification keys on.
+bool EndsWithQualifierChain(const std::string& collapsed) {
+  return collapsed.size() >= 2 &&
+         collapsed.compare(collapsed.size() - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
 std::vector<LockScope> CollectLockScopes(const std::string& text, size_t begin,
                                          size_t end) {
   std::vector<LockScope> out;
@@ -826,6 +908,357 @@ std::vector<LockScope> CollectLockScopes(const std::string& text, size_t begin,
               return a.begin < b.begin;
             });
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime model: ownership classification, function bodies, local scopes,
+// move tracking, loop extents.
+// ---------------------------------------------------------------------------
+
+TypeOwnership ClassifyTypeOwnership(const std::string& type_text) {
+  std::string t = CollapseSpaces(type_text);
+  // Drop trailing cv-qualifiers so `char* const` classifies by the '*'.
+  static const std::regex kTrailQual(R"(\s*\b(const|volatile)\s*$)");
+  while (std::regex_search(t, kTrailQual)) {
+    t = std::regex_replace(t, kTrailQual, "");
+  }
+  if (t.empty()) return TypeOwnership::kOwning;
+  // Views by spelled name, at any nesting (`const std::string_view&` is
+  // still a view of someone else's bytes).
+  static const std::regex kView(R"(\b(\w*_view|[Ss]pan|StringPiece)\b)");
+  if (std::regex_search(t, kView)) return TypeOwnership::kView;
+  const size_t last = t.find_last_not_of(' ');
+  const char back = t[last];
+  if (back == '&') {
+    if (last > 0 && t[last - 1] == '&') return TypeOwnership::kOwning;  // T&&
+    return TypeOwnership::kReference;
+  }
+  if (back == '*') return TypeOwnership::kPointer;
+  if (ContainsWord(t, "iterator") || ContainsWord(t, "const_iterator")) {
+    return TypeOwnership::kIterator;
+  }
+  return TypeOwnership::kOwning;
+}
+
+bool IsViewLikeType(const std::string& type_text) {
+  return ClassifyTypeOwnership(type_text) != TypeOwnership::kOwning;
+}
+
+const ParamInfo* FunctionInfo::FindParam(
+    const std::string& param_name) const {
+  for (const ParamInfo& p : params) {
+    if (p.name == param_name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Splits a parameter list's inner text on top-level ',' into ParamInfo
+/// entries (typed name per item; empty and `void` items are skipped).
+std::vector<ParamInfo> ParseParams(const std::string& inner) {
+  std::vector<ParamInfo> out;
+  int depth = 0;
+  size_t item_start = 0;
+  for (size_t i = 0; i <= inner.size(); ++i) {
+    const char c = i < inner.size() ? inner[i] : ',';
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c != ',' || depth != 0) continue;
+    std::string item = Trim(inner.substr(item_start, i - item_start));
+    item_start = i + 1;
+    if (item.empty() || item == "void") continue;
+    const size_t eq = item.find('=');
+    if (eq != std::string::npos) item = Trim(item.substr(0, eq));
+    size_t e = item.size();
+    while (e > 0 && !IsIdentChar(item[e - 1])) --e;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(item[b - 1])) --b;
+    if (b == e) continue;  // unnamed parameter
+    ParamInfo param;
+    param.name = item.substr(b, e - b);
+    if (IsKeywordToken(param.name)) continue;  // `int`, `...`-adjacent
+    param.type = CollapseSpaces(item.substr(0, b));
+    if (param.type.empty()) continue;  // bare name: macro arg, not a param
+    param.ownership = ClassifyTypeOwnership(param.type);
+    out.push_back(std::move(param));
+  }
+  return out;
+}
+
+/// Keywords that look like function names at `name(` sites.
+bool IsCallishKeyword(const std::string& name) {
+  static const std::set<std::string> kExtra = {
+      "catch", "static_assert", "decltype", "alignof", "defined", "assert"};
+  return IsKeywordToken(name) || kExtra.count(name) > 0;
+}
+
+}  // namespace
+
+std::vector<FunctionInfo> CollectFunctionDefs(const SourceFile& file,
+                                              bool include_decls) {
+  const std::string& text = file.stripped_text;
+  std::vector<FunctionInfo> out;
+  std::set<size_t> seen_bodies;
+  static const std::regex kNameParen(R"((~?[A-Za-z_]\w*)\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kNameParen);
+       it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1].str();
+    const std::string bare = name[0] == '~' ? name.substr(1) : name;
+    if (IsCallishKeyword(bare)) continue;
+    const size_t name_pos = static_cast<size_t>(it->position(1));
+    const size_t open = static_cast<size_t>(it->position(0)) +
+                        static_cast<size_t>(it->length(0)) - 1;
+    const size_t params_close = MatchingParen(text, open);
+    if (params_close == std::string::npos) continue;
+
+    // Forward: annotations / init list / trailing return type, then '{'.
+    size_t i = params_close + 1;
+    size_t body_begin = std::string::npos;
+    bool in_init_list = false;
+    bool is_decl = false;
+    while (i < text.size()) {
+      i = SkipWhitespace(text, i);
+      if (i >= text.size()) break;
+      const char c = text[i];
+      if (c == ';') {  // declaration, not a definition
+        is_decl = !in_init_list;
+        break;
+      }
+      if (c == '{') {
+        if (in_init_list) {
+          // Member brace initializer: preceded by the member's name.
+          const size_t last = PrevNonSpace(text, i);
+          if (last != std::string::npos && IsIdentChar(text[last])) {
+            size_t b = last;
+            while (b > 0 && IsIdentChar(text[b - 1])) --b;
+            if (!IsKeywordToken(text.substr(b, last - b + 1))) {
+              const size_t e = MatchingBrace(text, i);
+              if (e == std::string::npos) break;
+              i = e + 1;
+              continue;
+            }
+          }
+        }
+        body_begin = i;
+        break;
+      }
+      if (c == '(') {
+        const size_t e = MatchingParen(text, i);
+        if (e == std::string::npos) break;
+        i = e + 1;
+        continue;
+      }
+      if (c == ':') {
+        if (i + 1 < text.size() && text[i + 1] == ':') {
+          i += 2;
+          continue;
+        }
+        in_init_list = true;
+        ++i;
+        continue;
+      }
+      if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+        i += 2;  // trailing return type
+        continue;
+      }
+      if (c == ',' || IsIdentChar(c) || c == '&' || c == '<' || c == '>' ||
+          c == '*') {
+        ++i;
+        continue;
+      }
+      break;  // expression character: a call, not a definition
+    }
+    size_t body_end = std::string::npos;
+    if (body_begin == std::string::npos) {
+      if (!include_decls || !is_decl) continue;
+      if (!seen_bodies.insert(open).second) continue;
+    } else {
+      body_end = MatchingBrace(text, body_begin);
+      if (body_end == std::string::npos) continue;
+      if (!seen_bodies.insert(body_begin).second) continue;
+    }
+
+    // Backward: `Owner::` qualification, then the return type prefix.
+    std::string owner;
+    size_t back_from = name_pos;
+    const size_t p = PrevNonSpace(text, name_pos);
+    if (p != std::string::npos && p > 0 && text[p] == ':' &&
+        text[p - 1] == ':') {
+      size_t q = PrevNonSpace(text, p - 1);
+      if (q == std::string::npos) continue;
+      if (text[q] == '>') {
+        // `Owner<T>::Name`: hop the template argument list.
+        int d = 0;
+        size_t r = q + 1;
+        bool matched = false;
+        while (r > 0) {
+          --r;
+          if (text[r] == '>') {
+            ++d;
+          } else if (text[r] == '<') {
+            if (--d == 0) {
+              matched = true;
+              break;
+            }
+          } else if (text[r] == ';' || text[r] == '{' || text[r] == '}') {
+            break;
+          }
+        }
+        if (!matched) continue;
+        q = PrevNonSpace(text, r);
+        if (q == std::string::npos) continue;
+      }
+      if (!IsIdentChar(text[q])) continue;
+      size_t b = q;
+      while (b > 0 && IsIdentChar(text[b - 1])) --b;
+      owner = text.substr(b, q - b + 1);
+      back_from = b;
+    }
+    std::string return_type;
+    size_t type_begin = 0;
+    if (TypePrefixBefore(text, back_from, &type_begin)) {
+      return_type =
+          CollapseSpaces(Trim(text.substr(type_begin, back_from - type_begin)));
+    }
+    const bool is_structor =
+        !owner.empty() && (name == owner || name == "~" + owner);
+    // Macro-invocation bodies (TEST(...) {}) and constructors inside class
+    // bodies carry no return type; only owner-qualified structors pass.
+    if (return_type.empty() && !is_structor) continue;
+    if (EndsWithQualifierChain(return_type)) continue;  // `ns::Fn(...)` call
+
+    FunctionInfo fn;
+    fn.name = std::move(name);
+    fn.owner = std::move(owner);
+    fn.return_type = is_structor ? "" : return_type;
+    fn.file = file.rel;
+    fn.line = LineOfOffset(text, name_pos);
+    fn.params_begin = open;
+    fn.params_end = params_close;
+    fn.body_begin = body_begin;
+    fn.body_end = body_end;
+    const std::string inner = text.substr(open + 1, params_close - open - 1);
+    fn.params = ParseParams(inner);
+    if (!fn.has_body() && fn.params.empty()) {
+      // A paren-initialized variable (`std::vector<int> xs(3, 1);`) is
+      // indistinguishable from a prototype by shape alone; a declaration
+      // must spell a typed parameter list (or an empty/`void` one).
+      const std::string t = Trim(inner);
+      if (!t.empty() && t != "void") continue;
+    }
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+std::vector<LocalVar> CollectLocalVars(const std::string& text, size_t begin,
+                                       size_t end) {
+  std::vector<LocalVar> out;
+  const size_t limit = std::min(end, text.size());
+  const std::string body = text.substr(begin, limit - begin);
+  static const std::regex kCandidate(R"(([A-Za-z_]\w*)\s*([={(;]))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kCandidate);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (IsKeywordToken(name)) continue;
+    const size_t name_pos = begin + static_cast<size_t>(it->position(1));
+    const char decl_char = (*it)[2].str()[0];
+    if (decl_char == '=') {
+      const size_t eq = begin + static_cast<size_t>(it->position(2));
+      if (eq + 1 < text.size() && text[eq + 1] == '=') continue;  // '=='
+    }
+    size_t type_begin = 0;
+    if (!TypePrefixBefore(text, name_pos, &type_begin)) continue;
+    const std::string type =
+        CollapseSpaces(Trim(text.substr(type_begin, name_pos - type_begin)));
+    // `ns::Fn(x)` — a qualified call, not a declaration.
+    if (EndsWithQualifierChain(type)) continue;
+    if (type_begin < begin) continue;  // prefix crosses the scope boundary
+    LocalVar var;
+    var.name = name;
+    var.type = type;
+    var.decl_offset = name_pos;
+    var.scope_end = EnclosingScopeEnd(text, name_pos);
+    var.is_static =
+        ContainsWord(type, "static") || ContainsWord(type, "thread_local");
+    var.ownership = ClassifyTypeOwnership(type);
+    out.push_back(std::move(var));
+  }
+  return out;
+}
+
+std::vector<MoveUse> CollectMoves(const std::string& text, size_t begin,
+                                  size_t end) {
+  std::vector<MoveUse> out;
+  const size_t limit = std::min(end, text.size());
+  const std::string body = text.substr(begin, limit - begin);
+  static const std::regex kMove(
+      R"(\b(?:std\s*::\s*)?move\s*\(\s*([A-Za-z_]\w*)\s*\))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kMove);
+       it != std::sregex_iterator(); ++it) {
+    const size_t match_pos = begin + static_cast<size_t>(it->position(0));
+    // Reject member calls spelled `x.move(...)` / `x->move(...)`.
+    if (match_pos > 0) {
+      const char prev = text[match_pos - 1];
+      if (prev == '.' || prev == ':' ||
+          (prev == '>' && match_pos >= 2 && text[match_pos - 2] == '-')) {
+        continue;
+      }
+    }
+    MoveUse mv;
+    mv.name = (*it)[1].str();
+    mv.offset = match_pos;
+    mv.end = begin + static_cast<size_t>(it->position(0)) +
+             static_cast<size_t>(it->length(0));
+    out.push_back(std::move(mv));
+  }
+  return out;
+}
+
+std::vector<LoopRange> CollectLoopRanges(const std::string& text, size_t begin,
+                                         size_t end) {
+  std::vector<LoopRange> out;
+  const size_t limit = std::min(end, text.size());
+  const std::string body = text.substr(begin, limit - begin);
+  static const std::regex kLoop(R"(\b(for|while)\s*\()");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kLoop);
+       it != std::sregex_iterator(); ++it) {
+    const size_t open = begin + static_cast<size_t>(it->position(0)) +
+                        static_cast<size_t>(it->length(0)) - 1;
+    const size_t close = MatchingParen(text, open);
+    if (close == std::string::npos || close >= limit) continue;
+    const size_t after = SkipWhitespace(text, close + 1);
+    if (after < text.size() && text[after] == '{') {
+      const size_t be = MatchingBrace(text, after);
+      if (be != std::string::npos) out.push_back({after + 1, be});
+    } else {
+      const size_t semi = text.find(';', after);
+      if (semi != std::string::npos) out.push_back({after, semi});
+    }
+  }
+  static const std::regex kDo(R"(\bdo\b)");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kDo);
+       it != std::sregex_iterator(); ++it) {
+    const size_t after = SkipWhitespace(
+        text, begin + static_cast<size_t>(it->position(0)) + 2);
+    if (after < text.size() && text[after] == '{') {
+      const size_t be = MatchingBrace(text, after);
+      if (be != std::string::npos && be < limit) out.push_back({after + 1, be});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LoopRange& a, const LoopRange& b) {
+              return a.begin < b.begin;
+            });
+  return out;
+}
+
+bool InAnyRange(const std::vector<LoopRange>& ranges, size_t offset) {
+  for (const LoopRange& r : ranges) {
+    if (offset >= r.begin && offset < r.end) return true;
+  }
+  return false;
 }
 
 }  // namespace analysis

@@ -131,6 +131,114 @@ struct LockScope {
 std::vector<LockScope> CollectLockScopes(const std::string& text,
                                          size_t begin, size_t end);
 
+// ---------------------------------------------------------------------------
+// Lifetime model (cmlife): function bodies, local scopes, view/ownership
+// classification of spelled types, and std::move tracking. Token-level like
+// everything above: good enough to cross-reference names within this
+// codebase's style, conservative where real C++ would need full semantics.
+// ---------------------------------------------------------------------------
+
+/// Ownership classification of a spelled type, from its declaration text.
+enum class TypeOwnership {
+  kOwning,     ///< Value type that owns its storage (incl. smart pointers).
+  kView,       ///< Non-owning view: string_view, span, *_view, *Ref.
+  kReference,  ///< Lvalue reference (`T&`); rvalue refs classify kOwning.
+  kPointer,    ///< Raw pointer.
+  kIterator,   ///< Container iterator (spelled `iterator`).
+};
+
+/// Classifies the declaration text left of a name (`const std::string&`,
+/// `std::string_view`, `const uint8_t*`, ...). Trailing cv-qualifiers are
+/// ignored; `*` outranks `&` (`T*&` is a reference to pointer → kReference).
+TypeOwnership ClassifyTypeOwnership(const std::string& type_text);
+
+/// True when `type_text` names a type that can dangle: a view, reference,
+/// pointer, or iterator — anything whose validity depends on other storage.
+bool IsViewLikeType(const std::string& type_text);
+
+/// One function parameter.
+struct ParamInfo {
+  std::string name;
+  std::string type;  ///< Collapsed declaration text left of the name.
+  TypeOwnership ownership = TypeOwnership::kOwning;
+};
+
+/// One function definition (free function or method, inline or out-of-line)
+/// with its body extents — the scope unit the lifetime rules analyze.
+struct FunctionInfo {
+  std::string name;         ///< Unqualified name ('~'-prefixed dtors).
+  std::string owner;        ///< Class for `Owner::Name` definitions, or "".
+  std::string return_type;  ///< Collapsed text left of the name; "" for
+                            ///< constructors/destructors.
+  std::string file;         ///< Root-relative path of the defining file.
+  int line = 0;
+  size_t params_begin = 0;  ///< Offset of the parameter list's '('.
+  size_t params_end = 0;    ///< Offset of the matching ')'.
+  size_t body_begin = 0;    ///< Offset of the body '{'; npos for a
+                            ///< declaration collected via `include_decls`.
+  size_t body_end = 0;      ///< Offset of the matching '}'; npos likewise.
+  std::vector<ParamInfo> params;
+
+  const ParamInfo* FindParam(const std::string& param_name) const;
+  bool has_body() const { return body_begin != std::string::npos; }
+};
+
+/// Extracts every function definition with a body from one file's stripped
+/// text. Macro-invocation bodies (`TEST(X, Y) { ... }`) carry no return
+/// type and are deliberately not collected; lambdas are handled separately
+/// via ParseCaptureList. With `include_decls`, `;`-terminated prototypes
+/// register too (body offsets npos) — that is how cross-file rules learn
+/// the return type of a function another file merely declares.
+std::vector<FunctionInfo> CollectFunctionDefs(const SourceFile& file,
+                                              bool include_decls = false);
+
+/// One local variable declaration inside a function body, with the scope
+/// that bounds its lifetime.
+struct LocalVar {
+  std::string name;
+  std::string type;        ///< Collapsed declaration text left of the name.
+  size_t decl_offset = 0;  ///< Offset of the name in the scanned text.
+  size_t scope_end = 0;    ///< Offset of the '}' closing the innermost
+                           ///< enclosing scope (its lifetime end).
+  bool is_static = false;  ///< static/thread_local: outlives the scope.
+  TypeOwnership ownership = TypeOwnership::kOwning;
+};
+
+/// Collects local variable declarations within [begin, end) of `text`.
+/// Qualified call statements (`ns::Fn(x)`) and multi-declarator tails are
+/// conservatively skipped — consumers treat "not a known local" as "do not
+/// flag".
+std::vector<LocalVar> CollectLocalVars(const std::string& text, size_t begin,
+                                       size_t end);
+
+/// One `std::move(name)` consuming a named object.
+struct MoveUse {
+  std::string name;
+  size_t offset = 0;  ///< Offset of the `std` (or bare `move`) token.
+  size_t end = 0;     ///< Offset just past the closing ')'.
+};
+
+/// Collects `std::move(<identifier>)` sites within [begin, end). Member
+/// moves (`std::move(a.b)`) are skipped — name-level tracking cannot tell
+/// partial moves apart.
+std::vector<MoveUse> CollectMoves(const std::string& text, size_t begin,
+                                  size_t end);
+
+/// Half-open body extent of one for/while/do loop.
+struct LoopRange {
+  size_t begin;
+  size_t end;
+};
+
+/// Collects loop-body extents within [begin, end) of `text`. Linear text
+/// order is not execution order inside a loop, so lifetime rules skip
+/// events inside these ranges rather than reason about back-edges.
+std::vector<LoopRange> CollectLoopRanges(const std::string& text, size_t begin,
+                                         size_t end);
+
+/// True when `offset` falls inside any of `ranges`.
+bool InAnyRange(const std::vector<LoopRange>& ranges, size_t offset);
+
 }  // namespace analysis
 
 #endif  // CROSSMODAL_TOOLS_ANALYSIS_SYMBOLS_H_

@@ -1,0 +1,67 @@
+// Deferred-capture-lifetime fixture: by-reference captures escaping into
+// ThreadPool::Submit tasks, stored std::function members, and returned
+// lambdas. Never compiled; scanned as text.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+struct Pool {
+  template <typename Fn>
+  void Submit(Fn fn);
+  void Wait();
+};
+
+struct Sink {
+  void Set();
+  std::function<void()> callback_;
+};
+
+// TP: by-ref capture of a local escaping into Submit with no Wait in scope.
+void FireAndForget(Pool& pool) {
+  int count = 0;
+  pool.Submit([&count] { count += 1; });
+}
+
+// TP: default [&] capture of a local the task body uses; still no Wait.
+void DefaultRef(Pool& pool) {
+  std::vector<int> rows(8, 0);
+  pool.Submit([&] { rows.resize(9); });
+}
+
+// TP: by-ref capture stored into a std::function member outlives the call.
+void Sink::Set() {
+  int staged = 7;
+  callback_ = [&staged] { staged += 1; };
+}
+
+// TP: returning a lambda that refs a local of the dead frame.
+std::function<void()> MakeCallback() {
+  int pending = 1;
+  return [&pending] { pending += 1; };
+}
+
+// TN: Wait() in the same scope orders the task before the locals die.
+void SubmitThenWait(Pool& pool) {
+  int count = 0;
+  pool.Submit([&count] { count += 1; });
+  pool.Wait();
+}
+
+// TN: by-value capture copies the local into the closure.
+void ByValue(Pool& pool) {
+  int count = 0;
+  pool.Submit([count] { (void)count; });
+}
+
+// TN: a stored callback that captures by value owns its state.
+void StoreByValue(Sink& sink) {
+  int seed = 3;
+  sink.callback_ = [seed] { (void)seed; };
+}
+
+// Suppressed: the comment proves the pool drains before scope exit.
+void Suppressed(Pool& pool) {
+  int count = 0;
+  // cmlife: deferred-ok — harness joins this pool before count dies
+  pool.Submit([&count] { count += 1; });
+}

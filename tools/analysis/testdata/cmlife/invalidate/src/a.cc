@@ -1,0 +1,59 @@
+// Invalidated-reference fixture: references, data() pointers, and
+// iterators held across a mutating call on the same container. Never
+// compiled; scanned as text.
+#include <map>
+#include <string>
+#include <vector>
+
+int Use(int x);
+void UseD(double x);
+
+// TP: reference into a vector held across push_back (may reallocate).
+void RefAcrossGrowth(std::vector<int>& xs) {
+  int& first = xs[0];
+  xs.push_back(4);
+  Use(first);
+}
+
+// TP: data() pointer held across resize.
+void DataAcrossResize(std::vector<double>& xs) {
+  double* base = xs.data();
+  xs.resize(xs.size() * 2);
+  UseD(base[0]);
+}
+
+// TP: map iterator held across erase of another key.
+void IterAcrossErase(std::map<int, int>& m) {
+  auto it = m.find(3);
+  m.erase(5);
+  Use(it->second);
+}
+
+// TN: the use happens before the mutation.
+void UseBeforeGrowth(std::vector<int>& xs) {
+  int& first = xs[0];
+  Use(first);
+  xs.push_back(4);
+}
+
+// TN: the erase idiom refreshes the iterator in the same statement.
+void EraseRefresh(std::vector<int>& xs) {
+  auto it = xs.begin();
+  it = xs.erase(it);
+  Use(*it);
+}
+
+// TN: a value copy is immune to reallocation.
+void CopyIsSafe(std::vector<int>& xs) {
+  int first = xs[0];
+  xs.push_back(4);
+  Use(first);
+}
+
+// Suppressed: the comment proves capacity was provisioned by the caller.
+void SuppressedGrowth(std::vector<int>& xs) {
+  int& first = xs[0];
+  xs.push_back(4);
+  // cmlife: invalidate-ok — caller reserve()s past this single push_back
+  Use(first);
+}

@@ -1,0 +1,62 @@
+// Use-after-move fixture: reads of a local after std::move consumed it,
+// with reassignment/reset revivals exempt. Never compiled; scanned as text.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+void Consume(std::string s);
+void ConsumeV(std::vector<int> v);
+int Use(const std::string& s);
+
+// TP: read after the move consumed the string.
+void ReadAfterMove() {
+  std::string name = "a";
+  Consume(std::move(name));
+  Use(name);
+}
+
+// TP: the second move reads an already-moved-from object.
+void DoubleMove() {
+  std::vector<int> xs(3, 1);
+  ConsumeV(std::move(xs));
+  ConsumeV(std::move(xs));
+}
+
+// TN: reassignment revives the object before the read.
+void MoveThenReassign() {
+  std::string name = "a";
+  Consume(std::move(name));
+  name = "b";
+  Use(name);
+}
+
+// TN: reset() revives a moved-from smart pointer.
+void MoveThenReset(std::unique_ptr<int> p) {
+  std::unique_ptr<int> q = std::move(p);
+  p.reset(new int(3));
+  if (p != nullptr) Use("q");
+}
+
+// TN: moves inside a loop body are skipped (linear order is not
+// execution order across iterations).
+void MoveInLoop(std::vector<std::string>& out) {
+  for (std::string& s : out) {
+    Consume(std::move(s));
+    Use(s);
+  }
+}
+
+// TN: a return-move ends the path; nothing can read the local after it.
+std::string MoveOut() {
+  std::string tmp = "x";
+  return std::move(tmp);
+}
+
+// Suppressed: the comment proves the post-move read is intentional.
+void SuppressedMove() {
+  std::string name = "a";
+  Consume(std::move(name));
+  // cmlife: move-ok — only the moved-from emptiness is asserted here
+  Use(name);
+}

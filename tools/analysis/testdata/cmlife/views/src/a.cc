@@ -1,0 +1,69 @@
+// View-escape fixture: views, references, and pointers that outlive their
+// backing storage. Never compiled; scanned as text.
+#include <string>
+#include <string_view>
+#include <vector>
+
+// TP: returning a view of a function-local owning string.
+std::string_view DanglingReturn() {
+  std::string buffer = "x";
+  return buffer;
+}
+
+// TP: returning a pointer into a function-local vector's heap block.
+const double* DanglingData() {
+  std::vector<double> vals(4, 0.0);
+  return vals.data();
+}
+
+// TP: view local bound to an owning temporary (MakeLabel returns by value).
+void DanglingTemp() {
+  std::string_view v = MakeLabel(3);
+  (void)v;
+}
+
+// TP: view member bound to a parameter that dies with the caller's frame.
+class RowRef {
+ public:
+  void Bind(const std::string& key) {
+    key_ = key;
+  }
+
+ private:
+  std::string_view key_;
+};
+
+// TN: a static local outlives every caller.
+std::string_view StaticView() {
+  static std::string cached = "y";
+  return cached;
+}
+
+// TN: binding a view to a view-returning call chains no new storage.
+void ViewOfView() {
+  std::string_view v = ViewOfLabel(1);
+  (void)v;
+}
+
+// TN: returning by value copies the local out.
+std::string OwnedReturn() {
+  std::string buffer = "z";
+  return buffer;
+}
+
+// TN: a view member bound to a sibling owning member shares its lifetime.
+class RowOk {
+ public:
+  void Rebind() { view_ = storage_; }
+
+ private:
+  std::string storage_;
+  std::string_view view_;
+};
+
+// Suppressed: the comment proves why the storage outlives the view.
+std::string_view SuppressedView() {
+  std::string buffer = "w";
+  // cmlife: view-ok — fixture stand-in for interned storage
+  return buffer;
+}

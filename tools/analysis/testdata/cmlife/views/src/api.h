@@ -1,0 +1,8 @@
+// Cross-file return-type declarations for the view-escape fixture: the
+// analyzer must resolve MakeLabel (owning) vs ViewOfLabel (view) from this
+// header when classifying bindings in a.cc. Never compiled; scanned as text.
+#include <string>
+#include <string_view>
+
+std::string MakeLabel(int i);
+std::string_view ViewOfLabel(int i);

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Repo static checks: the cmlint, cmdeps, and cmrace self-tests, all three
-# analyzers over the tree, the LAYERS spec gate, and clang-tidy when
-# available. Registered as the `run_checks` ctest test; also runnable by
-# hand:
+# Repo static checks: the cmlint, cmdeps, cmrace, and cmlife self-tests,
+# all four analyzers over the tree, the LAYERS spec gate, and clang-tidy
+# when available. Registered as the `run_checks` ctest test; also runnable
+# by hand:
 #
-#   tools/run_checks.sh <cmlint-bin> <cmdeps-bin> <cmrace-bin> <repo-root> \
-#     [build-dir]
+#   tools/run_checks.sh <cmlint-bin> <cmdeps-bin> <cmrace-bin> <cmlife-bin> \
+#     <repo-root> [build-dir]
 #
 # Unlike a `set -e` script, every check always runs: one broken tool no
 # longer hides the results of the others. Each check's PASS/FAIL/SKIP status
@@ -18,12 +18,13 @@
 set -uo pipefail
 
 usage="usage: run_checks.sh <cmlint-bin> <cmdeps-bin> <cmrace-bin> \
-<repo-root> [build-dir]"
+<cmlife-bin> <repo-root> [build-dir]"
 CMLINT_BIN=${1:?${usage}}
 CMDEPS_BIN=${2:?${usage}}
 CMRACE_BIN=${3:?${usage}}
-ROOT=${4:?${usage}}
-BUILD_DIR=${5:-}
+CMLIFE_BIN=${4:?${usage}}
+ROOT=${5:?${usage}}
+BUILD_DIR=${6:-}
 
 names=()
 results=()
@@ -61,6 +62,9 @@ run "cmdeps tree" "${CMDEPS_BIN}" --root "${ROOT}"
 run "cmrace self-test" "${CMRACE_BIN}" --self-test \
   --testdata "${ROOT}/tools/analysis/testdata"
 run "cmrace tree" "${CMRACE_BIN}" --root "${ROOT}"
+run "cmlife self-test" "${CMLIFE_BIN}" --self-test \
+  --testdata "${ROOT}/tools/analysis/testdata"
+run "cmlife tree" "${CMLIFE_BIN}" --root "${ROOT}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ -n "${BUILD_DIR}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
